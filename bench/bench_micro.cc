@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): the hot structures of
+ * the simulator itself — bloom signatures, event queue, cache tag
+ * array, backing store and the log areas.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "htm/signature.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/redo_log.hh"
+#include "mem/undo_log.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace uhtm;
+
+static void
+BM_SignatureInsert(benchmark::State &state)
+{
+    BloomSignature sig(static_cast<unsigned>(state.range(0)), 4);
+    Rng rng(1);
+    for (auto _ : state)
+        sig.insert(rng.next() << kLineShift);
+}
+BENCHMARK(BM_SignatureInsert)->Arg(512)->Arg(2048)->Arg(4096);
+
+static void
+BM_SignatureCheck(benchmark::State &state)
+{
+    BloomSignature sig(static_cast<unsigned>(state.range(0)), 4);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        sig.insert(rng.next() << kLineShift);
+    std::uint64_t hits = 0;
+    for (auto _ : state)
+        hits += sig.mayContain(rng.next() << kLineShift);
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_SignatureCheck)->Arg(512)->Arg(2048)->Arg(4096);
+
+static void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.schedule(100, [&n] { ++n; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+static void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    Cache cache("bm", MiB(1), 8);
+    CacheLine ev;
+    bool had;
+    for (Addr a = 0; a < MiB(1); a += kLineBytes)
+        cache.allocate(a, ev, had);
+    Rng rng(7);
+    CacheLine *line = nullptr;
+    for (auto _ : state)
+        line = cache.lookup((rng.next() % (MiB(1) / kLineBytes))
+                            << kLineShift);
+    benchmark::DoNotOptimize(line);
+}
+BENCHMARK(BM_CacheLookupHit);
+
+static void
+BM_CacheAllocateEvict(benchmark::State &state)
+{
+    Cache cache("bm", KiB(64), 8);
+    CacheLine ev;
+    bool had;
+    Addr a = 0;
+    for (auto _ : state) {
+        cache.allocate(a, ev, had);
+        a += kLineBytes;
+    }
+}
+BENCHMARK(BM_CacheAllocateEvict);
+
+static void
+BM_BackingStoreWrite64(benchmark::State &state)
+{
+    BackingStore store;
+    Rng rng(3);
+    for (auto _ : state)
+        store.write64((rng.next() % MiB(64)) & ~7ull, 42);
+}
+BENCHMARK(BM_BackingStoreWrite64);
+
+static void
+BM_UndoLogAppendRestore(benchmark::State &state)
+{
+    UndoLogArea log(MiB(256));
+    std::array<std::uint8_t, kLineBytes> data{};
+    std::uint64_t tx = 1;
+    for (auto _ : state) {
+        for (Addr line = 0; line < 64 * kLineBytes; line += kLineBytes)
+            log.append(tx, line, data);
+        benchmark::DoNotOptimize(log.restore(tx));
+        ++tx;
+    }
+}
+BENCHMARK(BM_UndoLogAppendRestore);
+
+static void
+BM_RedoLogAppendReplay(benchmark::State &state)
+{
+    RedoLogArea log(MiB(256));
+    BackingStore image;
+    std::array<std::uint8_t, kLineBytes> data{};
+    std::uint64_t tx = 1;
+    for (auto _ : state) {
+        for (Addr line = 0; line < 64 * kLineBytes; line += kLineBytes)
+            log.append(tx, line, data, 100);
+        log.commit(tx, 200);
+        ++tx;
+        if ((tx & 0xff) == 0) {
+            log.replayCommitted(image, 1u << 30);
+            log.reset();
+        }
+    }
+}
+BENCHMARK(BM_RedoLogAppendReplay);
+
+BENCHMARK_MAIN();

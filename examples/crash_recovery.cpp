@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Crash-recovery walkthrough: commit a few durable transactions, crash
+ * at a chosen instant (including mid-transaction), and inspect exactly
+ * what the redo-log replay reconstructs (paper Section IV-C).
+ *
+ *   $ ./example_crash_recovery
+ */
+
+#include <cstdio>
+
+#include "htm/tx_context.hh"
+
+using namespace uhtm;
+
+int
+main()
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("bank");
+    TxContext ctx(sys, 0, dom);
+
+    // Two persistent "accounts" whose sum must stay invariant.
+    const Addr acct_a = MemLayout::kNvmBase + MiB(3);
+    const Addr acct_b = acct_a + kLineBytes;
+    sys.setupWrite64(acct_a, 1000);
+    sys.setupWrite64(acct_b, 1000);
+
+    auto transfers = [](TxContext &c, Addr a, Addr b) -> Task {
+        for (int i = 0; i < 8; ++i) {
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                const std::uint64_t va = co_await t.read64(a);
+                const std::uint64_t vb = co_await t.read64(b);
+                // Failure-atomicity target: both writes or neither.
+                co_await t.write64(a, va - 100);
+                co_await t.compute(ticksFromNs(5000)); // crash window
+                co_await t.write64(b, vb + 100);
+            });
+        }
+    }(ctx, acct_a, acct_b);
+    transfers.start();
+
+    // Crash at several points and audit the recovered invariant.
+    const Tick crash_points[] = {ticksFromNs(3000), ticksFromNs(9000),
+                                 ticksFromNs(20000), ticksFromNs(60000)};
+    std::printf("%-16s %8s %8s %8s %10s\n", "crash at", "A", "B", "sum",
+                "invariant");
+    for (Tick at : crash_points) {
+        eq.runUntil(at);
+        BackingStore img = sys.recoverAfterCrash();
+        const std::uint64_t a = img.read64(acct_a);
+        const std::uint64_t b = img.read64(acct_b);
+        std::printf("%10.1f us %8llu %8llu %8llu %10s\n",
+                    nsFromTicks(at) / 1000.0, (unsigned long long)a,
+                    (unsigned long long)b, (unsigned long long)(a + b),
+                    a + b == 2000 ? "OK" : "VIOLATED");
+    }
+
+    // Finish the run; the final recovered state holds all transfers.
+    eq.run();
+    BackingStore final_img = sys.recoverAfterCrash();
+    std::printf("\nfinal recovered state: A=%llu B=%llu (8 transfers "
+                "of 100)\n",
+                (unsigned long long)final_img.read64(acct_a),
+                (unsigned long long)final_img.read64(acct_b));
+    std::printf("commits=%llu aborts=%llu redo entries replayed "
+                "through the durable image\n",
+                (unsigned long long)sys.stats().commits,
+                (unsigned long long)sys.stats().totalAborts());
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unboundedness demo: a long-running read-only analytics scan over a
+ * persistent store, far larger than every on-chip cache, running
+ * concurrently with short put transactions — the paper's Section VI-B
+ * scenario. Compares the LLC-Bounded baseline against UHTM.
+ *
+ *   $ ./example_longrun_analytics
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/runner.hh"
+#include "workloads/hashmap.hh"
+
+using namespace uhtm;
+
+namespace
+{
+
+struct Result
+{
+    double putsPerSec;
+    std::uint64_t capacityAborts;
+    std::uint64_t serialized;
+};
+
+Result
+runWith(const HtmPolicy &policy)
+{
+    MachineConfig machine = MachineConfig::tiny(); // 64KB LLC
+    machine.cores = 4;
+    Runner runner(machine, policy, 77);
+    HtmSystem &sys = runner.system();
+    const DomainId dom = runner.addDomain("analytics");
+
+    SimHashMap table(sys, runner.regions(), MemKind::Nvm, 1024);
+    TxAllocator scan_heap(sys, runner.regions(), MemKind::Nvm, MiB(4));
+
+    // Prefill 256 x 1KB values: the scan's working set (512KB) is 8x
+    // the tiny machine's LLC.
+    std::vector<std::pair<std::uint64_t, Addr>> data;
+    Rng rng(7);
+    for (int i = 0; i < 512; ++i) {
+        const std::uint64_t key = 1000 + i;
+        const Addr blob = scan_heap.allocSetup(sys, KiB(1));
+        table.insertSetup(scan_heap, key, blob);
+        data.emplace_back(key, blob);
+    }
+
+    RunControl &rc = runner.control();
+    // Analytics thread: two full scans.
+    runner.addWorker(dom, [&](TxContext &ctx) -> CoTask<void> {
+        for (int pass = 0; pass < 3; ++pass) {
+            co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                for (const auto &[key, blob] : data) {
+                    co_await table.lookup(t, key);
+                    co_await readValueBlob(t, blob, KiB(1));
+                }
+            });
+        }
+    });
+    // Put threads run continuously while the scans execute: their
+    // sustained rate is what the serialized slow path destroys.
+    std::vector<std::unique_ptr<TxAllocator>> heaps;
+    for (unsigned w = 0; w < 3; ++w)
+        heaps.push_back(std::make_unique<TxAllocator>(
+            sys, runner.regions(), MemKind::Nvm, MiB(8)));
+    for (unsigned w = 0; w < 3; ++w) {
+        TxAllocator &heap = *heaps[w];
+        runner.addBackground(dom, [&, w](TxContext &ctx) -> CoTask<void> {
+            Rng r(w + 13);
+            for (int op = 0; !rc.stopBackground; ++op) {
+                const std::uint64_t key = (w + 1) * 100000 + r.below(64);
+                co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                    const Addr blob =
+                        co_await writeValueBlob(t, heap, 256, op);
+                    co_await table.insert(t, heap, key, blob);
+                });
+                rc.addOps(ctx.domain(), 1);
+            }
+        });
+    }
+
+    const RunMetrics m = runner.run();
+    return {static_cast<double>(m.committedOps) / m.simSeconds,
+            m.htm.abortsOf(AbortCause::Capacity),
+            m.htm.serializedCommits};
+}
+
+} // namespace
+
+int
+main()
+{
+    const Result bounded = runWith(HtmPolicy::llcBounded());
+    const Result uhtm = runWith(HtmPolicy::uhtmOpt(2048));
+
+    std::printf("scan working set: 512KB; LLC: 64KB (8x overflow)\n\n");
+    std::printf("%-14s %14s %10s %12s\n", "system", "puts/s", "capacity",
+                "serialized");
+    std::printf("%-14s %14.0f %10llu %12llu\n", "LLC-Bounded",
+                bounded.putsPerSec,
+                (unsigned long long)bounded.capacityAborts,
+                (unsigned long long)bounded.serialized);
+    std::printf("%-14s %14.0f %10llu %12llu\n", "UHTM",
+                uhtm.putsPerSec, (unsigned long long)uhtm.capacityAborts,
+                (unsigned long long)uhtm.serialized);
+    std::printf("\nUHTM speedup: %.2fx — the scan commits as a real "
+                "transaction instead of serializing everyone.\n",
+                uhtm.putsPerSec / bounded.putsPerSec);
+    return 0;
+}

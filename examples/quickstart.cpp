@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a UHTM machine, run a durable transaction that
+ * touches DRAM and NVM together, survive a crash.
+ *
+ *   $ ./example_quickstart
+ */
+
+#include <cstdio>
+
+#include "htm/tx_context.hh"
+
+using namespace uhtm;
+
+int
+main()
+{
+    // 1. A machine: event queue + the UHTM system (paper Table III
+    //    defaults: 16 cores, 32KB L1s, 16MB LLC, DRAM 82ns, NVM
+    //    175/94ns) with the full UHTM policy (staged detection, 2k-bit
+    //    signatures, isolation, hybrid undo/redo logging).
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig{}, HtmPolicy::uhtmOpt(2048));
+
+    // 2. A conflict domain — one per simulated process.
+    const DomainId dom = sys.createDomain("quickstart");
+
+    // 3. A per-thread transactional context on core 0.
+    TxContext ctx(sys, /*core=*/0, dom);
+
+    // Addresses: volatile counter in DRAM, persistent total in NVM.
+    const Addr dram_counter = MemLayout::kDramBase + MiB(2);
+    const Addr nvm_total = MemLayout::kNvmBase + MiB(2);
+    sys.setupWrite64(dram_counter, 0);
+    sys.setupWrite64(nvm_total, 0);
+
+    // 4. Workloads are coroutines; every memory access is co_awaited
+    //    and the retry loop (Algorithm 1) lives in ctx.run().
+    bool done = false;
+    auto program = [](TxContext &c, Addr counter, Addr total,
+                      bool &flag) -> Task {
+        for (int i = 1; i <= 10; ++i) {
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                // DRAM and NVM data in ONE transaction — the paper's
+                // headline capability.
+                const std::uint64_t n = co_await t.read64(counter);
+                co_await t.write64(counter, n + 1);
+                const std::uint64_t sum = co_await t.read64(total);
+                co_await t.write64(total, sum + i);
+            });
+        }
+        flag = true;
+    }(ctx, dram_counter, nvm_total, done);
+    program.start();
+    eq.run();
+
+    std::printf("after %llu committed transactions (simulated %.2f us):\n",
+                (unsigned long long)sys.stats().commits,
+                nsFromTicks(eq.now()) / 1000.0);
+    std::printf("  DRAM counter = %llu\n",
+                (unsigned long long)sys.setupRead64(dram_counter));
+    std::printf("  NVM total    = %llu\n",
+                (unsigned long long)sys.setupRead64(nvm_total));
+
+    // 5. Pull the plug: recovery replays the committed redo log.
+    BackingStore recovered = sys.recoverAfterCrash();
+    std::printf("after power failure + recovery:\n");
+    std::printf("  NVM total    = %llu (durable)\n",
+                (unsigned long long)recovered.read64(nvm_total));
+    std::printf("  DRAM counter = %llu (volatile, gone as expected)\n",
+                (unsigned long long)recovered.read64(dram_counter));
+    return done ? 0 : 1;
+}

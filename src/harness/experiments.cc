@@ -1,0 +1,145 @@
+#include "harness/experiments.hh"
+
+#include <memory>
+
+#include "workloads/hog.hh"
+
+namespace uhtm::experiments
+{
+
+namespace
+{
+
+/** Attach @p hogs streaming background applications to @p runner. */
+void
+addHogs(Runner &runner, unsigned hogs, std::uint64_t hog_bytes,
+        unsigned burst = 64)
+{
+    for (unsigned h = 0; h < hogs; ++h) {
+        const DomainId dom =
+            runner.addDomain("hog" + std::to_string(h));
+        auto hog = std::make_shared<HogApp>(
+            runner.system(), runner.regions(), hog_bytes, burst);
+        RunControl &rc = runner.control();
+        runner.addBackground(dom, [hog, &rc](TxContext &ctx) {
+            return hog->worker(ctx, rc);
+        });
+        if (h == 0) {
+            // Start at steady state: the hog already owns the LLC, as
+            // in the paper's observation that a single graph500-like
+            // application keeps the LLC occupied.
+            runner.system().prewarmLlc(hog->base(), hog->lines());
+        }
+    }
+}
+
+} // namespace
+
+RunMetrics
+runPmdkConsolidated(const MachineConfig &machine, const HtmPolicy &policy,
+                    const std::vector<PmdkParams> &benches,
+                    const ConsolidationOpts &opts)
+{
+    Runner runner(machine, policy, opts.seed);
+    RunControl &rc = runner.control();
+    unsigned bench_idx = 0;
+    for (const PmdkParams &params : benches) {
+        const DomainId dom = runner.addDomain(
+            std::string(indexKindName(params.kind)) + "." +
+            std::to_string(bench_idx++));
+        auto bench = std::make_shared<PmdkBenchmark>(
+            runner.system(), runner.regions(), params,
+            opts.workersPerBench);
+        for (unsigned w = 0; w < opts.workersPerBench; ++w) {
+            runner.addWorker(dom, [bench, w, &rc](TxContext &ctx) {
+                return bench->worker(ctx, w, rc);
+            });
+        }
+    }
+    addHogs(runner, opts.hogs, opts.hogBytes, opts.hogBurst);
+    return runner.run();
+}
+
+RunMetrics
+runEcho(const MachineConfig &machine, const HtmPolicy &policy,
+        const EchoParams &params, unsigned clients, unsigned hogs,
+        std::uint64_t seed)
+{
+    Runner runner(machine, policy, seed);
+    RunControl &rc = runner.control();
+    const DomainId dom = runner.addDomain("echo");
+    auto echo = std::make_shared<EchoKv>(runner.system(),
+                                         runner.regions(), params,
+                                         clients);
+    runner.addWorker(dom, [echo, &rc](TxContext &ctx) {
+        return echo->master(ctx, rc);
+    });
+    for (unsigned c = 0; c < clients; ++c) {
+        runner.addBackground(dom, [echo, c, &rc](TxContext &ctx) {
+            return echo->client(ctx, c, rc);
+        });
+    }
+    addHogs(runner, hogs, MiB(64));
+    return runner.run();
+}
+
+RunMetrics
+runHybridIndex(const MachineConfig &machine, const HtmPolicy &policy,
+               const HybridKvParams &params, unsigned workers,
+               std::uint64_t seed)
+{
+    Runner runner(machine, policy, seed);
+    RunControl &rc = runner.control();
+    const DomainId dom = runner.addDomain("hybrid-index");
+    auto kv = std::make_shared<HybridIndexKv>(
+        runner.system(), runner.regions(), params, workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        runner.addWorker(dom, [kv, w, &rc](TxContext &ctx) {
+            return kv->worker(ctx, w, rc);
+        });
+    }
+    return runner.run();
+}
+
+RunMetrics
+runDual(const MachineConfig &machine, const HtmPolicy &policy,
+        const DualKvParams &params, unsigned pairs, std::uint64_t seed)
+{
+    Runner runner(machine, policy, seed);
+    RunControl &rc = runner.control();
+    const DomainId dom = runner.addDomain("dual");
+    auto kv = std::make_shared<DualKv>(runner.system(), runner.regions(),
+                                       params, pairs);
+    for (unsigned p = 0; p < pairs; ++p) {
+        runner.addWorker(dom, [kv, p, &rc](TxContext &ctx) {
+            return kv->foreground(ctx, p, rc);
+        });
+    }
+    for (unsigned p = 0; p < pairs; ++p) {
+        runner.addBackground(dom, [kv, p, &rc](TxContext &ctx) {
+            return kv->background(ctx, p, rc);
+        });
+    }
+    return runner.run();
+}
+
+std::vector<SystemVariant>
+paperSystems(const std::vector<unsigned> &sig_bits, bool include_sig_only)
+{
+    std::vector<SystemVariant> out;
+    out.push_back({"LLC-Bounded", HtmPolicy::llcBounded()});
+    if (include_sig_only && !sig_bits.empty()) {
+        out.push_back({"Sig-Only(" + std::to_string(sig_bits.back()) + ")",
+                       HtmPolicy::signatureOnly(sig_bits.back())});
+    }
+    for (unsigned bits : sig_bits) {
+        out.push_back({std::to_string(bits) + "_sig",
+                       HtmPolicy::uhtmSig(bits)});
+        out.push_back({std::to_string(bits) + "_opt",
+                       HtmPolicy::uhtmOpt(bits)});
+    }
+    out.push_back({"Ideal", HtmPolicy::ideal()});
+    return out;
+}
+
+} // namespace uhtm::experiments

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Canned experiment assemblies shared by the benchmark binaries: the
+ * consolidated PMDK runs, the hybrid key-value stores and the Echo
+ * store, each over a configurable HTM policy (system variant).
+ */
+
+#ifndef UHTM_HARNESS_EXPERIMENTS_HH
+#define UHTM_HARNESS_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/echo.hh"
+#include "workloads/kv_dual.hh"
+#include "workloads/kv_hybrid.hh"
+#include "workloads/pmdk.hh"
+
+namespace uhtm::experiments
+{
+
+/** Options common to consolidated runs. */
+struct ConsolidationOpts
+{
+    unsigned workersPerBench = 4;
+    unsigned hogs = 2;
+    std::uint64_t hogBytes = MiB(48);
+    /** Lines per hog burst (memory-level parallelism). */
+    unsigned hogBurst = 96;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Consolidate several PMDK micro-benchmarks (one conflict domain each)
+ * with LLC-hog background applications, as in paper Section V ("we
+ * consolidated four benchmarks with four threads" plus two
+ * memory-intensive applications).
+ */
+RunMetrics runPmdkConsolidated(const MachineConfig &machine,
+                               const HtmPolicy &policy,
+                               const std::vector<PmdkParams> &benches,
+                               const ConsolidationOpts &opts);
+
+/** Echo KV store: one master + clients in one domain (opt. hogs). */
+RunMetrics runEcho(const MachineConfig &machine, const HtmPolicy &policy,
+                   const EchoParams &params, unsigned clients,
+                   unsigned hogs, std::uint64_t seed);
+
+/** Hybrid-Index KV store with @p workers threads in one domain. */
+RunMetrics runHybridIndex(const MachineConfig &machine,
+                          const HtmPolicy &policy,
+                          const HybridKvParams &params, unsigned workers,
+                          std::uint64_t seed);
+
+/** Dual KV store with @p pairs foreground/background thread pairs. */
+RunMetrics runDual(const MachineConfig &machine, const HtmPolicy &policy,
+                   const DualKvParams &params, unsigned pairs,
+                   std::uint64_t seed);
+
+/** The paper's evaluated system list for a given signature size set. */
+std::vector<SystemVariant>
+paperSystems(const std::vector<unsigned> &sig_bits, bool include_sig_only);
+
+} // namespace uhtm::experiments
+
+#endif // UHTM_HARNESS_EXPERIMENTS_HH

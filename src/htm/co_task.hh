@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Awaitable coroutine type used by workloads and the transactional API.
+ *
+ * CoTask<T> is a lazily-started coroutine that can be co_awaited from
+ * another coroutine. Completion resumes the awaiting coroutine via
+ * symmetric transfer; values and exceptions propagate through
+ * await_resume. Transactional aborts are delivered as TxAborted
+ * exceptions thrown from memory-operation awaiters, and unwind through
+ * arbitrarily deep CoTask call chains back to the retry loop.
+ */
+
+#ifndef UHTM_HTM_CO_TASK_HH
+#define UHTM_HTM_CO_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace uhtm
+{
+
+/**
+ * Exception signalling that the current transaction has been aborted
+ * (conflict, capacity overflow, or lock preemption). Thrown from memory
+ * operation awaiters; caught by the transaction retry loop.
+ */
+struct TxAborted
+{
+};
+
+template <typename T>
+class CoTask;
+
+namespace detail
+{
+
+/** Promise behaviour shared by CoTask<T> and CoTask<void>. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exc;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exc = std::current_exception(); }
+};
+
+} // namespace detail
+
+/** Lazily started awaitable coroutine returning T. */
+template <typename T>
+class [[nodiscard]] CoTask
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : _h(h) {}
+    CoTask(CoTask &&o) noexcept : _h(std::exchange(o._h, {})) {}
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            if (_h)
+                _h.destroy();
+            _h = std::exchange(o._h, {});
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask()
+    {
+        if (_h)
+            _h.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        _h.promise().continuation = cont;
+        return _h;
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = _h.promise();
+        if (p.exc)
+            std::rethrow_exception(p.exc);
+        return std::move(*p.value);
+    }
+
+  private:
+    Handle _h;
+};
+
+/** Lazily started awaitable coroutine returning nothing. */
+template <>
+class [[nodiscard]] CoTask<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        CoTask
+        get_return_object()
+        {
+            return CoTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_void() {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : _h(h) {}
+    CoTask(CoTask &&o) noexcept : _h(std::exchange(o._h, {})) {}
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            if (_h)
+                _h.destroy();
+            _h = std::exchange(o._h, {});
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask()
+    {
+        if (_h)
+            _h.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        _h.promise().continuation = cont;
+        return _h;
+    }
+
+    void
+    await_resume()
+    {
+        auto &p = _h.promise();
+        if (p.exc)
+            std::rethrow_exception(p.exc);
+    }
+
+  private:
+    Handle _h;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_CO_TASK_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Machine configuration (paper Table III) and HTM policy knobs that
+ * select between UHTM and the evaluated baselines.
+ */
+
+#ifndef UHTM_HTM_CONFIG_HH
+#define UHTM_HTM_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/**
+ * How conflicts are detected for data beyond the on-chip caches.
+ * Selects between the paper's evaluated systems (Section V).
+ */
+enum class OffChipDetection
+{
+    /** No off-chip detection: LLC eviction of tx data aborts
+     *  (LLC-Bounded HTM, DHTM-like). */
+    None,
+    /** Address signatures hold the full read/write sets and every
+     *  request is checked (Signature-Only HTM, Bulk/LogTM-SE-like). */
+    SignatureAllTraffic,
+    /** UHTM: signatures hold only LLC-overflowed lines and only
+     *  LLC-miss requests are checked (staged detection). */
+    SignatureLlcMiss,
+    /** Ideal unbounded HTM: precise (false-positive-free) detection
+     *  for overflowed data. */
+    Precise,
+};
+
+/** Version management for LLC-overflowed DRAM lines (paper Fig. 4/10). */
+enum class DramOverflowLog
+{
+    /** Eager: old value to the log, new value in place (UHTM). */
+    Undo,
+    /** Lazy: new value to the log, in place unchanged (ablation). */
+    Redo,
+};
+
+/** Why a transaction aborted (Fig. 7 decomposition). */
+enum class AbortCause
+{
+    None,
+    /** Real data conflict detected by the coherence protocol. */
+    TrueConflictOnChip,
+    /** Real data conflict detected off chip (signature or precise). */
+    TrueConflictOffChip,
+    /** Signature false positive within the same conflict domain. */
+    FalsePositive,
+    /** Signature false positive caused by another conflict domain
+     *  (eliminated by UHTM's signature-isolation optimization). */
+    CrossDomainFalse,
+    /** Capacity overflow (bounded systems only). */
+    Capacity,
+    /** Preempted by a slow-path lock acquisition in the same domain. */
+    LockPreempt,
+    /** Explicit abort requested by the workload. */
+    Explicit,
+};
+
+/** Printable abort-cause name. */
+inline const char *
+abortCauseName(AbortCause c)
+{
+    switch (c) {
+      case AbortCause::None: return "none";
+      case AbortCause::TrueConflictOnChip: return "true-onchip";
+      case AbortCause::TrueConflictOffChip: return "true-offchip";
+      case AbortCause::FalsePositive: return "false-positive";
+      case AbortCause::CrossDomainFalse: return "cross-domain-false";
+      case AbortCause::Capacity: return "capacity";
+      case AbortCause::LockPreempt: return "lock-preempt";
+      case AbortCause::Explicit: return "explicit";
+    }
+    return "?";
+}
+
+/** Timing and structural parameters of the simulated machine. */
+struct MachineConfig
+{
+    unsigned cores = 16;
+
+    std::uint64_t l1Bytes = KiB(32);
+    unsigned l1Ways = 8;
+    Tick l1Latency = ticksFromNs(1.5);
+
+    std::uint64_t llcBytes = MiB(16);
+    unsigned llcWays = 16;
+    Tick llcLatency = ticksFromNs(15);
+
+    Tick dramReadLatency = ticksFromNs(82);
+    Tick dramWriteLatency = ticksFromNs(82);
+    /** DRAM per-request occupancy (64B at ~32 GB/s aggregate). */
+    Tick dramSlot = ticksFromNs(2);
+
+    Tick nvmReadLatency = ticksFromNs(175);
+    /** NVM write completes at the ADR write-pending queue. */
+    Tick nvmWriteLatency = ticksFromNs(94);
+    /** NVM per-request occupancy (64B at ~8 GB/s aggregate). */
+    Tick nvmSlot = ticksFromNs(8);
+
+    std::uint64_t dramCacheBytes = MiB(64);
+    unsigned dramCacheWays = 16;
+
+    /** Ablation: cache replacement prefers non-transactional victims. */
+    bool txAwareReplacement = false;
+
+    std::uint64_t logAreaBytes = MiB(512);
+
+    /** Shrink cache sizes for fast unit tests. */
+    static MachineConfig
+    tiny()
+    {
+        MachineConfig c;
+        c.cores = 4;
+        c.l1Bytes = KiB(4);
+        c.l1Ways = 4;
+        c.llcBytes = KiB(64);
+        c.llcWays = 8;
+        c.dramCacheBytes = KiB(256);
+        c.dramCacheWays = 4;
+        c.logAreaBytes = MiB(16);
+        return c;
+    }
+};
+
+/** HTM policy: which of the paper's systems to model. */
+struct HtmPolicy
+{
+    OffChipDetection offChip = OffChipDetection::SignatureLlcMiss;
+
+    /** UHTM's conflict-domain signature isolation (the _opt variants). */
+    bool signatureIsolation = true;
+
+    unsigned signatureBits = 2048;
+    unsigned signatureHashes = 4;
+
+    DramOverflowLog dramLog = DramOverflowLog::Undo;
+
+    /** Conflict-abort retries before falling back to the slow path. */
+    int maxRetries = 10;
+
+    /** Base backoff delay; doubles each retry with random jitter. */
+    Tick backoffBase = ticksFromNs(200);
+    /** Backoff cap. Must be able to exceed a long transaction's
+     *  duration, or two deterministic retriers writing one shared line
+     *  ping-pong under requester-wins until the retry limit (the
+     *  livelock the paper defers to future work). */
+    Tick backoffMax = ticksFromNs(3200000);
+
+    /** ---- presets matching the paper's evaluated systems ---- */
+
+    /** LLC-Bounded durable HTM (DHTM-like baseline). */
+    static HtmPolicy
+    llcBounded()
+    {
+        HtmPolicy p;
+        p.offChip = OffChipDetection::None;
+        p.signatureIsolation = false;
+        // Capacity overflow goes straight to the slow path (Section V);
+        // the conflict-retry budget matches the other systems so that
+        // throughput differences isolate the boundedness itself.
+        return p;
+    }
+
+    /** Signature-Only HTM (naive unbounded baseline). */
+    static HtmPolicy
+    signatureOnly(unsigned bits)
+    {
+        HtmPolicy p;
+        p.offChip = OffChipDetection::SignatureAllTraffic;
+        p.signatureIsolation = false;
+        p.signatureBits = bits;
+        return p;
+    }
+
+    /** UHTM without the conflict-domain optimization (xxx_sig). */
+    static HtmPolicy
+    uhtmSig(unsigned bits)
+    {
+        HtmPolicy p;
+        p.offChip = OffChipDetection::SignatureLlcMiss;
+        p.signatureIsolation = false;
+        p.signatureBits = bits;
+        return p;
+    }
+
+    /** UHTM with signature isolation (xxx_opt). */
+    static HtmPolicy
+    uhtmOpt(unsigned bits)
+    {
+        HtmPolicy p;
+        p.offChip = OffChipDetection::SignatureLlcMiss;
+        p.signatureIsolation = true;
+        p.signatureBits = bits;
+        return p;
+    }
+
+    /** Ideal unbounded HTM (perfect off-chip detection). */
+    static HtmPolicy
+    ideal()
+    {
+        HtmPolicy p;
+        p.offChip = OffChipDetection::Precise;
+        p.signatureIsolation = true;
+        return p;
+    }
+};
+
+/** A named (policy, label) pair for experiment sweeps. */
+struct SystemVariant
+{
+    std::string label;
+    HtmPolicy policy;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_CONFIG_HH

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * The timed, conflict-checked memory access path: L1 → directory/LLC →
+ * memory, with the paper's staged conflict detection and the eviction
+ * (overflow) handling that drives UHTM's hybrid version management.
+ */
+
+#include <cassert>
+#include <cstdlib>
+
+#include "htm/htm_system.hh"
+#include "sim/trace.hh"
+
+namespace uhtm
+{
+
+HtmSystem::Resolution
+HtmSystem::onChipConflictCheck(CacheLine &s, TxDesc *req, bool is_write)
+{
+    // Collect live conflicting transactions from the directory fields.
+    TxDesc *writer =
+        s.txWriter != kNoTx ? _tss.byId(s.txWriter) : nullptr;
+    if (writer == req)
+        writer = nullptr;
+
+    // A read (GetS) only conflicts with a transactional writer; a write
+    // (GetM) conflicts with the writer and every transactional reader.
+    std::vector<TxDesc *> victims;
+    if (writer)
+        victims.push_back(writer);
+    if (is_write) {
+        for (TxId r : s.txReaders) {
+            TxDesc *d = _tss.byId(r);
+            if (d && d != req && d != writer)
+                victims.push_back(d);
+        }
+    }
+    if (victims.empty())
+        return {};
+
+    if (!req) {
+        // Non-transactional requester: it cannot abort, so conflicting
+        // transactions lose (this is the false-conflict channel the
+        // signature-isolation optimization closes off chip; on chip it
+        // is a true data race).
+        for (TxDesc *v : victims)
+            requestAbort(v, AbortCause::TrueConflictOnChip, kNoTx);
+        return {};
+    }
+
+    // Paper Table II: if exactly one side overflowed, the
+    // non-overflowed side aborts; committing/serialized victims are
+    // immune, so the requester aborts.
+    for (TxDesc *v : victims) {
+        const bool immune =
+            v->status == TxStatus::Committing || v->serialized;
+        if (immune || (v->overflowed && !req->overflowed)) {
+            requestAbort(req, AbortCause::TrueConflictOnChip, v->id);
+            return {true};
+        }
+    }
+    // Requester-wins for the symmetric cases.
+    for (TxDesc *v : victims) {
+        UHTM_TRACE(kConflict, _eq.now(),
+                   "onchip line=%llx req=%llu(core%u,%s) victim=%llu",
+                   (unsigned long long)s.tag,
+                   (unsigned long long)req->id, req->core,
+                   is_write ? "W" : "R", (unsigned long long)v->id);
+        requestAbort(v, AbortCause::TrueConflictOnChip, req->id);
+    }
+    return {};
+}
+
+HtmSystem::Resolution
+HtmSystem::offChipConflictCheck(Addr line, TxDesc *req,
+                                DomainId req_domain, bool is_write)
+{
+    const bool precise = _policy.offChip == OffChipDetection::Precise;
+    const auto &cands = _policy.signatureIsolation
+                            ? _tss.activeInDomain(req_domain)
+                            : _tss.active();
+    for (TxDesc *v : cands) {
+        if (v == req || !v->active() || v->serialized)
+            continue;
+
+        const bool truth =
+            is_write ? (v->readSet.count(line) || v->writeSet.count(line))
+                     : (v->writeSet.count(line) != 0);
+        bool hit;
+        if (precise) {
+            hit = truth;
+        } else {
+            if (v->readSig.empty() && v->writeSig.empty())
+                continue;
+            ++_stats.sigChecks;
+            hit = is_write ? (v->readSig.mayContain(line) ||
+                              v->writeSig.mayContain(line))
+                           : v->writeSig.mayContain(line);
+            if (hit) {
+                ++_stats.sigHits;
+                if (!truth)
+                    ++_stats.sigFalseHits;
+            }
+        }
+        if (!hit)
+            continue;
+
+        const AbortCause cause =
+            truth ? AbortCause::TrueConflictOffChip
+                  : (v->domain != req_domain ? AbortCause::CrossDomainFalse
+                                             : AbortCause::FalsePositive);
+
+        if (!req) {
+            // Non-transactional LLC miss hitting a signature: the
+            // transaction must abort for correctness.
+            requestAbort(v, cause, kNoTx);
+            continue;
+        }
+        if (req->overflowed && !v->overflowed) {
+            // Overflowed-transaction priority (paper Table II).
+            if (requestAbort(v, cause, req->id))
+                continue;
+        }
+        // Requester-loses for overflowed conflicts: no extra
+        // processor-to-processor communication needed.
+        requestAbort(req, cause, v->id);
+        return {true};
+    }
+    return {};
+}
+
+void
+HtmSystem::handleL1Eviction(CoreId core, const CacheLine &ev, Tick t)
+{
+    const Addr line = ev.tag;
+    CacheLine *s = _llc.peek(line);
+    if (s) {
+        s->sharers &= ~(1ull << core);
+        if (s->ownerCore == core)
+            s->ownerCore = kNoCore;
+        if (ev.dirty)
+            s->dirty = true;
+    }
+    // Track L1-evicted write-set blocks in the overflow list so commit
+    // and abort can locate them without scanning the LLC (Section IV-B).
+    if (ev.txWriter != kNoTx) {
+        TxDesc *tx = _tss.byId(ev.txWriter);
+        if (tx && tx->active()) {
+            tx->noteOverflowListEntry(line);
+            // The list lives in the DRAM cache: one async DRAM write.
+            _dramCtrl.access(t, true);
+        }
+    }
+}
+
+void
+HtmSystem::handleChipEviction(const CacheLine &ev, Tick t)
+{
+    const Addr line = ev.tag;
+
+    // Inclusive hierarchy: recall every L1 copy.
+    for (CoreId c = 0; c < _mcfg.cores; ++c)
+        if ((ev.sharers >> c) & 1)
+            _l1s[c]->invalidate(line);
+    if (ev.ownerCore != kNoCore)
+        _l1s[ev.ownerCore]->invalidate(line);
+
+    TxDesc *writer =
+        ev.txWriter != kNoTx ? _tss.byId(ev.txWriter) : nullptr;
+    if (writer && !writer->active())
+        writer = nullptr;
+    std::vector<TxDesc *> readers;
+    for (TxId r : ev.txReaders) {
+        TxDesc *d = _tss.byId(r);
+        if (d && d->active() && d != writer)
+            readers.push_back(d);
+    }
+
+    if (trace::enabled(trace::kCache) && ev.txBit()) {
+        const TxId first = ev.txReaders.empty() ? 0 : ev.txReaders[0];
+        UHTM_TRACE(kCache, _eq.now(),
+                   "chipEvict line=%llx w=%llu(live=%d) nr=%zu r0=%llu"
+                   "(live=%d) nextTx=%llu",
+                   (unsigned long long)line,
+                   (unsigned long long)ev.txWriter, writer != nullptr,
+                   ev.txReaders.size(), (unsigned long long)first,
+                   first && _tss.byId(first) != nullptr,
+                   (unsigned long long)_nextTxId);
+    }
+    if (writer || !readers.empty())
+        ++_stats.llcTxEvictions;
+    if (writer)
+        ++_stats.llcTxWriteEvictions;
+    else if (!readers.empty())
+        ++_stats.llcTxReadEvictions;
+
+    if (_policy.offChip == OffChipDetection::None) {
+        // LLC-Bounded HTM: losing on-chip tracking means the
+        // transaction can no longer be isolated — capacity abort.
+        if (writer && !writer->serialized)
+            requestAbort(writer, AbortCause::Capacity, kNoTx);
+        for (TxDesc *d : readers)
+            if (!d->serialized)
+                requestAbort(d, AbortCause::Capacity, kNoTx);
+        if (ev.dirty && !writer)
+            writebackToMemory(line, t);
+        return;
+    }
+
+    // Unbounded modes: move tracking to signatures (or precise sets)
+    // and apply the hybrid version management.
+    if (writer && !writer->serialized) {
+        markOverflowed(writer);
+        writer->overflowedLines.insert(line);
+        if (_policy.offChip != OffChipDetection::Precise)
+            writer->writeSig.insert(line);
+        writer->noteOverflowListEntry(line);
+
+        if (MemLayout::kindOf(line) == MemKind::Dram) {
+            if (_policy.dramLog == DramOverflowLog::Undo) {
+                if (_undoLog.full()) {
+                    // Trap the OS to expand the log area (paper IV-E).
+                    _undoLog.expand(_mcfg.logAreaBytes / 4);
+                    ++_stats.logExpansions;
+                }
+                // Eager: old value to the undo log (read in-place +
+                // log write, both off the critical path), new value
+                // written in place.
+                std::array<std::uint8_t, kLineBytes> old;
+                _store.readLine(line, old.data());
+                if (_undoLog.append(writer->id, line, old)) {
+                    ++writer->undoRecords;
+                    const Tick r = _dramCtrl.access(t, false);
+                    _dramCtrl.access(r, true, true);
+                }
+                _dramCtrl.access(t, true); // speculative in-place write
+            } else {
+                // Lazy (ablation): new value to the log, in-place data
+                // untouched; later reads pay the indirection.
+                _dramCtrl.access(t, true, true);
+                writer->redoDramLines.insert(line);
+            }
+        } else {
+            // NVM: early eviction into the DRAM cache ([28]); the redo
+            // record was already created at store time.
+            std::array<std::uint8_t, kLineBytes> img;
+            lineImage(writer, line, img);
+            DramCacheEntry *e = _dramCache.insert(line, writer->id);
+            e->data = img;
+            _dramCtrl.access(t, true);
+        }
+    } else if (ev.dirty) {
+        writebackToMemory(line, t);
+    }
+
+    for (TxDesc *d : readers) {
+        if (d->serialized)
+            continue;
+        markOverflowed(d);
+        d->overflowedLines.insert(line);
+        if (_policy.offChip != OffChipDetection::Precise)
+            d->readSig.insert(line);
+    }
+}
+
+AccessResult
+HtmSystem::issueAccess(CoreId core, DomainId domain, Addr addr,
+                       bool is_write, bool whole_line, std::uint64_t wdata)
+{
+    assert(core < _mcfg.cores);
+    assert(MemLayout::isSoftwareVisible(addr) &&
+           "software access outside DRAM/NVM regions");
+    TxDesc *tx = _coreTx[core];
+    const Addr line = lineAlign(addr);
+    Tick t = _eq.now();
+
+    static const Addr watch = [] {
+        const char *w = std::getenv("UHTM_WATCH");
+        return w ? std::strtoull(w, nullptr, 16) : 0;
+    }();
+    if (watch && line == watch) {
+        const CacheLine *l1l = _l1s[core]->peek(line);
+        const CacheLine *llcl = _llc.peek(line);
+        std::fprintf(stderr,
+                     "%12llu WATCH core=%u tx=%llu %s l1=%s llc=%s "
+                     "txW=%llu nr=%zu\n",
+                     (unsigned long long)t, core,
+                     (unsigned long long)(tx ? tx->id : 0),
+                     is_write ? "W" : "R",
+                     l1l ? (l1l->exclusive ? "E" : "S") : "-",
+                     llcl ? "hit" : "miss",
+                     (unsigned long long)(llcl ? llcl->txWriter : 0),
+                     llcl ? llcl->txReaders.size() : 0);
+    }
+
+    // A doomed transaction makes no further progress; the awaiter
+    // throws TxAborted when this access "completes".
+    if (tx && tx->abortRequested)
+        return {t + _mcfg.l1Latency, 0};
+
+    const bool checks = !(tx && tx->serialized);
+    const bool track_meta = tx && !tx->serialized;
+
+    // Signature-Only baseline: every request is checked against every
+    // signature and every accessed line is inserted (Bulk/LogTM-SE).
+    if (checks && _policy.offChip == OffChipDetection::SignatureAllTraffic) {
+        if (offChipConflictCheck(line, tx, domain, is_write)
+                .requesterAborts)
+            return {t + _mcfg.l1Latency, 0};
+        if (tx)
+            (is_write ? tx->writeSig : tx->readSig).insert(line);
+    }
+
+    Cache &l1 = *_l1s[core];
+    CacheLine *l = l1.lookup(line);
+    const bool upgrade = l && is_write && !l->exclusive;
+
+    if (l && !upgrade) {
+        // L1 hit with sufficient permission.
+        t += _mcfg.l1Latency;
+        if (is_write) {
+            l->dirty = true;
+            if (track_meta)
+                l->txWriter = tx->id;
+        } else if (track_meta) {
+            l->addTxReader(tx->id);
+        }
+        // Keep the directory's Tx fields in sync (piggy-backed update,
+        // no latency: the directory already points at this core).
+        if (track_meta)
+            registerTxAtDirectory(line, tx, is_write);
+    } else {
+        // L1 miss or upgrade: consult the directory at the LLC.
+        t += _mcfg.l1Latency + _mcfg.llcLatency;
+        CacheLine *s = _llc.lookup(line);
+        if (s) {
+            pruneLineMeta(*s);
+            if (checks &&
+                onChipConflictCheck(*s, tx, is_write).requesterAborts)
+                return {t, 0};
+            if (is_write) {
+                for (CoreId c = 0; c < _mcfg.cores; ++c) {
+                    if (c != core && ((s->sharers >> c) & 1))
+                        _l1s[c]->invalidate(line);
+                }
+                if (s->ownerCore != kNoCore && s->ownerCore != core) {
+                    _l1s[s->ownerCore]->invalidate(line);
+                    t += _mcfg.l1Latency; // dirty data from owner's L1
+                }
+                s->sharers = 1ull << core;
+                s->ownerCore = core;
+                s->dirty = true;
+            } else {
+                if (s->ownerCore != kNoCore && s->ownerCore != core) {
+                    t += _mcfg.l1Latency; // owner downgrade + data
+                    if (CacheLine *ol = _l1s[s->ownerCore]->peek(line)) {
+                        ol->exclusive = false;
+                        ol->dirty = false;
+                    }
+                    s->dirty = true;
+                    s->ownerCore = kNoCore;
+                }
+                s->sharers |= 1ull << core;
+            }
+        } else {
+            // LLC miss: off-chip conflict detection, then memory.
+            if (checks &&
+                (_policy.offChip == OffChipDetection::SignatureLlcMiss ||
+                 _policy.offChip == OffChipDetection::Precise)) {
+                if (offChipConflictCheck(line, tx, domain, is_write)
+                        .requesterAborts)
+                    return {t, 0};
+            }
+            if (is_write && whole_line) {
+                // Full-line store: no fetch from memory is needed
+                // (write-combining store, no read-for-ownership data).
+                // The line still allocates in the LLC and L1 below.
+            } else if (MemLayout::kindOf(line) == MemKind::Dram) {
+                t = _dramCtrl.access(t, false);
+                if (tx && tx->redoDramLines.count(line)) {
+                    // Redo-mode read indirection: locate the new value
+                    // in the DRAM log before use (paper Fig. 4b).
+                    t = _dramCtrl.access(t, false, true);
+                }
+            } else {
+                if (_dramCache.lookup(line)) {
+                    t = _dramCtrl.access(t, false);
+                } else {
+                    t = _nvmCtrl.access(t, false);
+                    _dramCache.insert(line, kNoTx); // cache the NVM line
+                }
+            }
+            CacheLine evicted;
+            bool had = false;
+            s = _llc.allocate(line, evicted, had);
+            if (had)
+                handleChipEviction(evicted, t);
+            s->sharers = 1ull << core;
+            // The filling core is the sole holder: grant E (reads) or
+            // M (writes). The directory MUST record the owner either
+            // way — a silently-exclusive clean copy that later remote
+            // readers fail to downgrade lets the holder write through
+            // the L1-hit fast path without any conflict check.
+            s->ownerCore = core;
+            s->dirty = is_write;
+            // Our own fill may have evicted one of our own lines
+            // (bounded mode: self capacity abort).
+            if (tx && tx->abortRequested)
+                return {t, 0};
+        }
+        if (track_meta) {
+            if (is_write)
+                s->txWriter = tx->id;
+            else
+                s->addTxReader(tx->id);
+        }
+
+        // Fill / upgrade the L1 copy.
+        if (!l) {
+            CacheLine ev_l1;
+            bool had_l1 = false;
+            l = l1.allocate(line, ev_l1, had_l1);
+            if (had_l1)
+                handleL1Eviction(core, ev_l1, t);
+        }
+        const bool sole = s->sharers == (1ull << core);
+        l->exclusive = is_write || (sole && s->ownerCore == kNoCore) ||
+                       s->ownerCore == core;
+        if (is_write)
+            l->dirty = true;
+        if (track_meta) {
+            if (is_write)
+                l->txWriter = tx->id;
+            else
+                l->addTxReader(tx->id);
+        }
+    }
+
+    // ---- functional half ----
+    std::uint64_t data = 0;
+    const Addr word = addr & ~static_cast<Addr>(7);
+    if (tx) {
+        if (is_write) {
+            ++tx->writes;
+            tx->writeSet.insert(line);
+            auto it = tx->writeBuffer.find(line);
+            if (it == tx->writeBuffer.end()) {
+                // Copy-on-first-write: buffer starts from the
+                // architectural (pre-transaction) image.
+                it = tx->writeBuffer.emplace(line, decltype(it->second){})
+                         .first;
+                _store.readLine(line, it->second.data());
+                tx->preImage.emplace(line, it->second);
+            }
+            auto &buf = it->second;
+            if (whole_line) {
+                for (unsigned i = 0; i < kLineBytes; i += 8)
+                    std::memcpy(buf.data() + i, &wdata, 8);
+            } else {
+                std::memcpy(buf.data() + (word - line), &wdata, 8);
+            }
+            if (MemLayout::kindOf(line) == MemKind::Nvm) {
+                if (_redoLog.full()) {
+                    // Trap the OS to expand the log area (paper IV-E).
+                    _redoLog.expand(_mcfg.logAreaBytes / 4);
+                    ++_stats.logExpansions;
+                }
+                // [28]-style hardware redo logging at store time: the
+                // async log write consumes NVM bandwidth; commit waits
+                // for the durability horizon.
+                const Tick dur = _nvmCtrl.access(_eq.now(), true, true);
+                _redoLog.append(tx->id, line, buf, dur);
+                if (dur > tx->logsDurableAt)
+                    tx->logsDurableAt = dur;
+            }
+        } else {
+            ++tx->reads;
+            tx->readSet.insert(line);
+            auto it = tx->writeBuffer.find(line);
+            if (it != tx->writeBuffer.end())
+                std::memcpy(&data, it->second.data() + (word - line), 8);
+            else
+                data = _store.read64(word);
+        }
+    } else {
+        if (is_write) {
+            if (whole_line) {
+                for (unsigned i = 0; i < kLineBytes; i += 8)
+                    _store.write64(line + i, wdata);
+            } else {
+                _store.write64(word, wdata);
+            }
+            if (MemLayout::kindOf(line) == MemKind::Nvm)
+                scheduleDurableInPlaceWrite(line, t);
+        } else {
+            data = _store.read64(word);
+        }
+    }
+    return {t, data};
+}
+
+} // namespace uhtm

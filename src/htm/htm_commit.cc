@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Commit and abort protocols (paper Sections IV-B and IV-C).
+ *
+ * Commit runs the DRAM and NVM protocols in parallel: the NVM side
+ * waits for redo-log durability, writes the commit record and flushes
+ * the NVM write set to the DRAM cache; the DRAM side writes the commit
+ * mark for undo-logged overflowed lines (or copies values back under
+ * the redo-DRAM ablation). Abort invalidates on-chip state, restores
+ * overflowed DRAM lines from the undo log, marks the NVM abort flag and
+ * invalidates uncommitted DRAM-cache entries via the overflow list.
+ *
+ * Functionally, commit atomically publishes the write buffer to the
+ * architectural store at issue time; abort simply drops it.
+ */
+
+#include <cassert>
+
+#include "htm/htm_system.hh"
+#include "sim/trace.hh"
+
+namespace uhtm
+{
+
+Tick
+HtmSystem::issueCommit(CoreId core)
+{
+    TxDesc *tx = _coreTx[core];
+    assert(tx && "commit without a running transaction");
+    assert(!tx->abortRequested && "doomed transaction must abort");
+    tx->status = TxStatus::Committing;
+    const Tick start = _eq.now();
+
+    // Locate the write set: write bits in the L1, then the overflow
+    // list (stored in the DRAM cache) for everything L1-evicted.
+    Tick t = start + _mcfg.l1Latency;
+    t = chargeOverflowListWalk(tx, t);
+
+    // ---- NVM commit (redo) ----
+    std::vector<Addr> nvm_lines;
+    for (Addr line : tx->writeSet)
+        if (MemLayout::kindOf(line) == MemKind::Nvm)
+            nvm_lines.push_back(line);
+
+    Tick t_nvm = t;
+    Tick commit_durable_at = 0;
+    if (!nvm_lines.empty()) {
+        // Wait until all redo records are durable, then persist the
+        // commit record — the transaction's durability point.
+        t_nvm = std::max(t_nvm, tx->logsDurableAt);
+        t_nvm = _nvmCtrl.access(t_nvm, true, true);
+        commit_durable_at = t_nvm;
+        // Flush the NVM write set to the DRAM cache (slot-pipelined
+        // DRAM writes); in-place NVM updates happen lazily on DRAM
+        // cache eviction, off the critical path.
+        Tick flush_end = t_nvm;
+        for (std::size_t i = 0; i < nvm_lines.size(); ++i)
+            flush_end = std::max(flush_end, _dramCtrl.access(t_nvm, true));
+        t_nvm = flush_end;
+    }
+
+    // ---- DRAM commit (undo or redo ablation), in parallel ----
+    Tick t_dram = t;
+    if (tx->undoRecords > 0) {
+        // Undo: a single commit mark finalizes everything (fast path
+        // of Fig. 4c).
+        t_dram = _dramCtrl.access(t_dram, true, true);
+    }
+    if (_policy.dramLog == DramOverflowLog::Redo &&
+        !tx->redoDramLines.empty()) {
+        // Redo ablation: walk the log and copy each new value to its
+        // in-place location before the commit can finish. The walk is
+        // a dependent chain (each copy needs the log entry located
+        // first), which is exactly the slow-commit cost of Fig. 4c.
+        for (std::size_t i = 0; i < tx->redoDramLines.size(); ++i) {
+            const Tick r = _dramCtrl.access(t_dram, false, true);
+            t_dram = _dramCtrl.access(r, true);
+        }
+    }
+
+    const Tick done = std::max(t_nvm, t_dram) + _mcfg.l1Latency;
+
+    // ---- functional commit (atomic at issue) ----
+    for (const auto &[line, buf] : tx->writeBuffer) {
+        const auto &pre = tx->preImage.at(line);
+        std::array<std::uint8_t, kLineBytes> cur;
+        _store.readLine(line, cur.data());
+        if (std::memcmp(pre.data(), cur.data(), kLineBytes) != 0) {
+            std::fprintf(stderr,
+                         "LOST-UPDATE: tx %llu commits line %llx whose "
+                         "architectural image changed mid-transaction\n",
+                         (unsigned long long)tx->id,
+                         (unsigned long long)line);
+        }
+        _store.writeLine(line, buf.data());
+    }
+    if (!nvm_lines.empty()) {
+        _redoLog.commit(tx->id, commit_durable_at);
+        for (Addr line : nvm_lines) {
+            const auto &buf = tx->writeBuffer.at(line);
+            if (!_dramCache.commitEntry(line, tx->id, buf)) {
+                DramCacheEntry *e = _dramCache.insert(line, kNoTx);
+                e->data = buf;
+                e->dirty = true;
+            }
+        }
+    }
+    _undoLog.commit(tx->id);
+
+    // Clear this core's transactional cache metadata; LLC reader marks
+    // are pruned lazily via the TSS.
+    _l1s[core]->forEachLine([&](CacheLine &cl) {
+        if (cl.txWriter == tx->id)
+            cl.txWriter = kNoTx;
+        cl.removeTxReader(tx->id);
+    });
+    for (Addr line : tx->overflowList) {
+        if (CacheLine *s = _llc.peek(line); s && s->txWriter == tx->id)
+            s->txWriter = kNoTx;
+    }
+
+    ++_stats.commits;
+    if (tx->serialized) {
+        ++_stats.serializedCommits;
+        releaseDomainLock(tx, done);
+    }
+    _stats.commitProtocolNs.sample(nsFromTicks(done - start));
+    _stats.txFootprintBytes.sample(
+        static_cast<double>(tx->footprintBytes()));
+
+    UHTM_TRACE(kTx, _eq.now(),
+               "tx %llu commit (%zu lines, %zu overflow, done+%.0fns)",
+               (unsigned long long)tx->id, tx->writeBuffer.size(),
+               tx->overflowList.size(), nsFromTicks(done - start));
+
+    tx->status = TxStatus::Committed;
+    finishTx(tx);
+    return done;
+}
+
+Tick
+HtmSystem::issueAbort(CoreId core)
+{
+    TxDesc *tx = _coreTx[core];
+    assert(tx && "abort without a running transaction");
+    assert(tx->abortRequested && "abort protocol needs a doomed tx");
+    const Tick start = _eq.now();
+    ++_stats.aborts[static_cast<std::size_t>(tx->abortCause)];
+
+    // Flush pipeline state, invalidate the private write set.
+    Tick t = start + _mcfg.l1Latency;
+    _l1s[core]->forEachLine([&](CacheLine &cl) {
+        if (cl.txWriter == tx->id) {
+            cl.reset();
+        } else {
+            cl.removeTxReader(tx->id);
+        }
+    });
+
+    // Locate and invalidate LLC-resident write-set blocks through the
+    // overflow list.
+    t = chargeOverflowListWalk(tx, t);
+    for (Addr line : tx->overflowList) {
+        CacheLine *s = _llc.peek(line);
+        if (s && s->txWriter == tx->id) {
+            for (CoreId c = 0; c < _mcfg.cores; ++c)
+                if ((s->sharers >> c) & 1)
+                    _l1s[c]->invalidate(line);
+            s->reset();
+        }
+    }
+
+    // DRAM: restore in-place data from the undo log. The per-tx undo
+    // records are contiguous and self-contained (paper Section IV-B:
+    // undo "does not require searching the logs"), so the restore
+    // streams the log and scatters the writes, pipelined through the
+    // controller. Still the expensive side of prioritizing commits.
+    const auto entries = _undoLog.restore(tx->id);
+    if (!entries.empty()) {
+        Tick end = t;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const Tick r = _dramCtrl.access(t, false, true);
+            end = std::max(end, _dramCtrl.access(r, true));
+        }
+        t = end;
+    }
+
+    // NVM: mark the abort flag; log deletion is deferred to the
+    // background reclaimer. Invalidate uncommitted DRAM-cache entries
+    // found through the overflow list.
+    if (_redoLog.entryCount(tx->id) > 0) {
+        t = _nvmCtrl.access(t, true, true);
+        for (Addr line : tx->overflowList)
+            if (MemLayout::kindOf(line) == MemKind::Nvm)
+                _dramCache.invalidateEntry(line, tx->id);
+        _redoLog.abort(tx->id);
+        _redoLog.reclaimAborted();
+    }
+
+    _stats.abortProtocolNs.sample(nsFromTicks(t - start));
+
+    UHTM_TRACE(kTx, _eq.now(), "tx %llu aborted (%s, by %llu)",
+               (unsigned long long)tx->id,
+               abortCauseName(tx->abortCause),
+               (unsigned long long)tx->abortedBy);
+
+    tx->status = TxStatus::Aborted;
+    finishTx(tx);
+    return t;
+}
+
+} // namespace uhtm

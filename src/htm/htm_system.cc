@@ -1,0 +1,384 @@
+/**
+ * @file
+ * HtmSystem: construction, transaction lifecycle, setup access,
+ * crash recovery and shared helpers. The timed access path lives in
+ * htm_access.cc; the commit/abort protocols in htm_commit.cc.
+ */
+
+#include "htm/htm_system.hh"
+
+#include <cassert>
+
+#include "sim/trace.hh"
+
+namespace uhtm
+{
+
+HtmSystem::HtmSystem(EventQueue &eq, MachineConfig mcfg, HtmPolicy policy)
+    : _eq(eq), _mcfg(mcfg), _policy(policy),
+      _llc("LLC", mcfg.llcBytes, mcfg.llcWays, mcfg.txAwareReplacement),
+      _dramCtrl("DRAM", mcfg.dramReadLatency, mcfg.dramWriteLatency,
+                mcfg.dramSlot),
+      _nvmCtrl("NVM", mcfg.nvmReadLatency, mcfg.nvmWriteLatency,
+               mcfg.nvmSlot),
+      _dramCache(mcfg.dramCacheBytes, mcfg.dramCacheWays),
+      _undoLog(mcfg.logAreaBytes), _redoLog(mcfg.logAreaBytes)
+{
+    trace::initFromEnv();
+    assert(mcfg.cores >= 1 && mcfg.cores <= 64 &&
+           "sharer bitmask limits the model to 64 cores");
+    for (unsigned i = 0; i < mcfg.cores; ++i) {
+        _l1s.push_back(std::make_unique<Cache>("L1." + std::to_string(i),
+                                               mcfg.l1Bytes, mcfg.l1Ways));
+    }
+    _coreTx.resize(mcfg.cores, nullptr);
+
+    // Committed dirty lines evicted from the DRAM cache update in-place
+    // NVM: charge the NVM channel and make the bytes durable when the
+    // write completes.
+    _dramCache.setWriteBack(
+        [this](Addr line, const std::array<std::uint8_t, kLineBytes> &b) {
+            const Tick done = _nvmCtrl.access(_eq.now(), true);
+            auto bytes = b;
+            _eq.scheduleAt(done, [this, line, bytes] {
+                _durableNvm.writeLine(line, bytes.data());
+            });
+        });
+}
+
+HtmSystem::~HtmSystem() = default;
+
+DomainId
+HtmSystem::createDomain(std::string name)
+{
+    return _tss.createDomain(std::move(name));
+}
+
+TxDesc *
+HtmSystem::makeTx(CoreId core, DomainId domain, int attempt,
+                  bool serialized)
+{
+    assert(core < _mcfg.cores);
+    assert(!_coreTx[core] && "core already runs a transaction");
+    const TxId id = _nextTxId++;
+    auto desc = std::make_unique<TxDesc>(id, core, domain,
+                                         _policy.signatureBits,
+                                         _policy.signatureHashes);
+    desc->serialized = serialized;
+    desc->attempt = attempt;
+    desc->beginTick = _eq.now();
+    TxDesc *ptr = desc.get();
+    _liveTxs.emplace(id, std::move(desc));
+    _coreTx[core] = ptr;
+    _tss.add(ptr);
+    ++_stats.txBegins;
+    UHTM_TRACE(kTx, _eq.now(), "tx %llu begin core=%u dom=%u%s",
+               (unsigned long long)id, core, domain,
+               serialized ? " serialized" : "");
+    return ptr;
+}
+
+void
+HtmSystem::finishTx(TxDesc *tx)
+{
+    if (tx->overflowed) {
+        _stats.sigInsertsPerTx.sample(static_cast<double>(
+            tx->readSig.inserts() + tx->writeSig.inserts()));
+    }
+    _tss.remove(tx);
+    _coreTx[tx->core] = nullptr;
+    _liveTxs.erase(tx->id);
+}
+
+TxDesc *
+HtmSystem::beginTx(CoreId core, DomainId domain, int attempt)
+{
+    assert(!_tss.domain(domain).locked() &&
+           "fast-path begin while the domain lock is held");
+    return makeTx(core, domain, attempt, false);
+}
+
+TxDesc *
+HtmSystem::beginSerializedTx(CoreId core, DomainId domain, int attempt)
+{
+    ConflictDomain &d = _tss.domain(domain);
+    assert(!d.locked() && "serialized begin requires a free lock");
+    TxDesc *tx = makeTx(core, domain, attempt, true);
+    d.lockHolder = tx->id;
+    ++_stats.lockAcquisitions;
+    // Writing the fallback lock aborts every fast-path transaction in
+    // the domain (they hold the lock in their read set in Algorithm 1).
+    for (TxDesc *v : _tss.activeInDomain(domain)) {
+        if (v != tx)
+            requestAbort(v, AbortCause::LockPreempt, tx->id);
+    }
+    return tx;
+}
+
+bool
+HtmSystem::domainLocked(DomainId domain) const
+{
+    return const_cast<Tss &>(_tss).domain(domain).locked();
+}
+
+void
+HtmSystem::waitForDomainLock(DomainId domain, std::coroutine_handle<> h)
+{
+    _tss.domain(domain).waiters.push_back(h);
+}
+
+void
+HtmSystem::releaseDomainLock(TxDesc *tx, Tick at)
+{
+    const DomainId domain = tx->domain;
+    const TxId id = tx->id;
+    _eq.scheduleAt(at, [this, domain, id] {
+        ConflictDomain &d = _tss.domain(domain);
+        if (d.lockHolder != id)
+            return; // already released (defensive)
+        d.lockHolder = kNoTx;
+        auto waiters = std::move(d.waiters);
+        d.waiters.clear();
+        for (auto h : waiters)
+            _eq.schedule(0, [h] { h.resume(); });
+    });
+}
+
+bool
+HtmSystem::requestAbort(TxDesc *victim, AbortCause cause, TxId by)
+{
+    if (!victim || !victim->active())
+        return false;
+    if (victim->status == TxStatus::Committing || victim->serialized)
+        return false;
+    if (victim->abortRequested)
+        return true;
+    victim->abortRequested = true;
+    victim->abortCause = cause;
+    victim->abortedBy = by;
+    UHTM_TRACE(kConflict, _eq.now(), "tx %llu doomed (%s) by %llu",
+               (unsigned long long)victim->id, abortCauseName(cause),
+               (unsigned long long)by);
+    return true;
+}
+
+TxDesc *
+HtmSystem::currentTx(CoreId core) const
+{
+    assert(core < _coreTx.size());
+    return _coreTx[core];
+}
+
+TxId
+HtmSystem::suspendTx(CoreId core)
+{
+    TxDesc *tx = _coreTx[core];
+    if (!tx)
+        return kNoTx;
+    // Flush modified private-cache lines to the LLC so the write set
+    // can later be located without asking this core (paper IV-E), then
+    // drop the whole private working set (the thread is leaving).
+    _l1s[core]->forEachLine([&](CacheLine &cl) {
+        const Addr line = cl.tag;
+        CacheLine *s = _llc.peek(line);
+        if (s) {
+            s->sharers &= ~(1ull << core);
+            if (s->ownerCore == core)
+                s->ownerCore = kNoCore;
+            if (cl.dirty)
+                s->dirty = true;
+        }
+        if (cl.txWriter == tx->id)
+            tx->noteOverflowListEntry(line);
+        cl.reset();
+    });
+    _coreTx[core] = nullptr;
+    tx->core = kNoCore;
+    _suspended.emplace(tx->id, tx);
+    ++_stats.contextSwitches;
+    UHTM_TRACE(kTx, _eq.now(), "tx %llu suspended from core %u",
+               (unsigned long long)tx->id, core);
+    return tx->id;
+}
+
+void
+HtmSystem::resumeTx(CoreId core, TxId id)
+{
+    auto it = _suspended.find(id);
+    assert(it != _suspended.end() && "resume of a non-suspended tx");
+    assert(!_coreTx[core] && "target core already runs a transaction");
+    TxDesc *tx = it->second;
+    _suspended.erase(it);
+    tx->core = core;
+    _coreTx[core] = tx;
+    UHTM_TRACE(kTx, _eq.now(), "tx %llu resumed on core %u",
+               (unsigned long long)id, core);
+}
+
+bool
+HtmSystem::isSuspended(TxId id) const
+{
+    return _suspended.count(id) > 0;
+}
+
+bool
+HtmSystem::abortPending(CoreId core) const
+{
+    const TxDesc *tx = currentTx(core);
+    return tx && tx->abortRequested;
+}
+
+void
+HtmSystem::setupWrite64(Addr a, std::uint64_t v)
+{
+    _store.write64(a, v);
+    if (MemLayout::kindOf(a) == MemKind::Nvm)
+        _durableNvm.write64(a, v);
+}
+
+void
+HtmSystem::setupWriteLine(Addr line_base, std::uint64_t pattern)
+{
+    for (unsigned i = 0; i < kLineBytes / 8; ++i)
+        setupWrite64(line_base + i * 8, pattern);
+}
+
+std::uint64_t
+HtmSystem::setupRead64(Addr a) const
+{
+    return _store.read64(a);
+}
+
+BackingStore
+HtmSystem::recoverAfterCrash()
+{
+    BackingStore img;
+    img.copyFrom(_durableNvm);
+    _redoLog.replayCommitted(img, _eq.now());
+    return img;
+}
+
+void
+HtmSystem::markOverflowed(TxDesc *tx)
+{
+    if (!tx->overflowed) {
+        tx->overflowed = true;
+        ++_stats.overflowedTxs;
+        UHTM_TRACE(kTx, _eq.now(), "tx %llu overflowed",
+                   (unsigned long long)tx->id);
+    }
+}
+
+void
+HtmSystem::pruneLineMeta(CacheLine &line)
+{
+    if (line.txWriter != kNoTx && !_tss.byId(line.txWriter))
+        line.txWriter = kNoTx;
+    for (std::size_t i = 0; i < line.txReaders.size();) {
+        if (!_tss.byId(line.txReaders[i])) {
+            line.txReaders[i] = line.txReaders.back();
+            line.txReaders.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+HtmSystem::lineImage(const TxDesc *tx, Addr line,
+                     std::array<std::uint8_t, kLineBytes> &out) const
+{
+    if (tx) {
+        auto it = tx->writeBuffer.find(line);
+        if (it != tx->writeBuffer.end()) {
+            out = it->second;
+            return;
+        }
+    }
+    _store.readLine(line, out.data());
+}
+
+void
+HtmSystem::scheduleDurableInPlaceWrite(Addr line, Tick at)
+{
+    std::array<std::uint8_t, kLineBytes> bytes;
+    _store.readLine(line, bytes.data());
+    _eq.scheduleAt(at, [this, line, bytes] {
+        _durableNvm.writeLine(line, bytes.data());
+    });
+}
+
+void
+HtmSystem::writebackToMemory(Addr line, Tick t)
+{
+    if (MemLayout::kindOf(line) == MemKind::Dram) {
+        _dramCtrl.access(t, true);
+    } else {
+        const Tick done = _nvmCtrl.access(t, true);
+        scheduleDurableInPlaceWrite(line, done);
+    }
+}
+
+void
+HtmSystem::registerTxAtDirectory(Addr line, TxDesc *tx, bool is_write)
+{
+    CacheLine *s = _llc.peek(line);
+    if (!s) {
+        std::fprintf(stderr,
+                     "INCLUSION-VIOLATION: tx %llu L1-hit on %llx with "
+                     "no LLC copy\n",
+                     (unsigned long long)tx->id,
+                     (unsigned long long)line);
+        return;
+    }
+    // The directory update refreshes the LLC's recency too, so hot
+    // L1-resident transactional lines are not inclusion victims.
+    _llc.touch(*s);
+    if (is_write) {
+        s->txWriter = tx->id;
+        s->ownerCore = tx->core;
+        s->dirty = true;
+    } else {
+        s->addTxReader(tx->id);
+    }
+}
+
+Tick
+HtmSystem::chargeOverflowListWalk(const TxDesc *tx, Tick t)
+{
+    if (tx->overflowList.empty())
+        return t;
+    const std::size_t accesses =
+        (tx->overflowList.size() + kListEntriesPerAccess - 1) /
+        kListEntriesPerAccess;
+    Tick end = t;
+    for (std::size_t i = 0; i < accesses; ++i)
+        end = std::max(end, _dramCtrl.access(t, false));
+    return end;
+}
+
+void
+HtmSystem::resetStats()
+{
+    _stats = HtmStats{};
+}
+
+void
+HtmSystem::prewarmLlc(Addr base, std::uint64_t lines)
+{
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        const Addr line = lineAlign(base) + i * kLineBytes;
+        if (_llc.peek(line))
+            continue;
+        CacheLine evicted;
+        bool had = false;
+        CacheLine *s = _llc.allocate(line, evicted, had);
+        // Pre-warm happens before any transaction exists; evicted
+        // lines are clean prewarm lines, so no protocol action needed.
+        s->sharers = 0;
+        s->ownerCore = kNoCore;
+        s->dirty = false;
+    }
+}
+
+} // namespace uhtm

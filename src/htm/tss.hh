@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Transaction status structure (TSS) and conflict domains.
+ *
+ * The TSS tracks all running transactions (paper Section IV-E). This
+ * implementation additionally indexes active transactions by conflict
+ * domain — the unit of UHTM's signature-isolation optimization — and
+ * hosts the per-domain slow-path serialization lock used by the
+ * Algorithm-1 fallback.
+ */
+
+#ifndef UHTM_HTM_TSS_HH
+#define UHTM_HTM_TSS_HH
+
+#include <algorithm>
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "htm/tx_desc.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/**
+ * A conflict domain: a group of transactions sharing one address space
+ * (one simulated process). The paper generates the group id in the
+ * pthread library; here the harness assigns it when placing workloads.
+ */
+struct ConflictDomain
+{
+    DomainId id = 0;
+    std::string name;
+
+    /** Slow-path serialization lock (Algorithm 1's fallback lock). */
+    TxId lockHolder = kNoTx;
+
+    /** Coroutines waiting for the lock / for the lock to clear. */
+    std::deque<std::coroutine_handle<>> waiters;
+
+    bool locked() const { return lockHolder != kNoTx; }
+};
+
+/** Registry of active transactions and conflict domains. */
+class Tss
+{
+  public:
+    /** Create a new conflict domain and return its id. */
+    DomainId
+    createDomain(std::string name)
+    {
+        const DomainId id = static_cast<DomainId>(_domains.size());
+        ConflictDomain d;
+        d.id = id;
+        d.name = std::move(name);
+        _domains.push_back(std::move(d));
+        _activeByDomain.emplace_back();
+        return id;
+    }
+
+    ConflictDomain &
+    domain(DomainId id)
+    {
+        assert(id < _domains.size());
+        return _domains[id];
+    }
+
+    std::size_t domainCount() const { return _domains.size(); }
+
+    /** Register a freshly begun transaction. */
+    void
+    add(TxDesc *tx)
+    {
+        assert(tx && tx->id != kNoTx);
+        _byId.emplace(tx->id, tx);
+        _active.push_back(tx);
+        _activeByDomain[tx->domain].push_back(tx);
+    }
+
+    /** Deregister a finished (committed or aborted) transaction. */
+    void
+    remove(TxDesc *tx)
+    {
+        _byId.erase(tx->id);
+        eraseFrom(_active, tx);
+        eraseFrom(_activeByDomain[tx->domain], tx);
+    }
+
+    /** Active descriptor by id, or nullptr (stale ids prune to null). */
+    TxDesc *
+    byId(TxId id) const
+    {
+        auto it = _byId.find(id);
+        return it == _byId.end() ? nullptr : it->second;
+    }
+
+    /** All active transactions. */
+    const std::vector<TxDesc *> &active() const { return _active; }
+
+    /** Active transactions of one conflict domain. */
+    const std::vector<TxDesc *> &
+    activeInDomain(DomainId d) const
+    {
+        assert(d < _activeByDomain.size());
+        return _activeByDomain[d];
+    }
+
+    void
+    reset()
+    {
+        _byId.clear();
+        _active.clear();
+        for (auto &v : _activeByDomain)
+            v.clear();
+        for (auto &d : _domains) {
+            d.lockHolder = kNoTx;
+            d.waiters.clear();
+        }
+    }
+
+  private:
+    static void
+    eraseFrom(std::vector<TxDesc *> &v, TxDesc *tx)
+    {
+        auto it = std::find(v.begin(), v.end(), tx);
+        if (it != v.end()) {
+            *it = v.back();
+            v.pop_back();
+        }
+    }
+
+    std::unordered_map<TxId, TxDesc *> _byId;
+    std::vector<TxDesc *> _active;
+    std::vector<std::vector<TxDesc *>> _activeByDomain;
+    std::vector<ConflictDomain> _domains;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_TSS_HH

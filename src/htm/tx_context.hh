@@ -1,0 +1,358 @@
+/**
+ * @file
+ * TxContext — the public, workload-facing transactional memory API.
+ *
+ * One TxContext per simulated hardware thread. Workloads are C++20
+ * coroutines: every memory operation is co_awaited, which suspends the
+ * workload until the simulated access completes. Transactional aborts
+ * surface as TxAborted exceptions thrown from the awaiters and are
+ * handled by run(), which implements the paper's Algorithm 1: retry
+ * with randomized exponential backoff, go straight to the serialized
+ * slow path on capacity overflow, and fall back to it after the
+ * maximum number of retries.
+ *
+ * Usage sketch:
+ * @code
+ *   CoTask<void> worker(TxContext &ctx) {
+ *       co_await ctx.run([&](TxContext &c) -> CoTask<void> {
+ *           std::uint64_t v = co_await c.read64(a);
+ *           co_await c.write64(b, v + 1);
+ *       });
+ *   }
+ * @endcode
+ */
+
+#ifndef UHTM_HTM_TX_CONTEXT_HH
+#define UHTM_HTM_TX_CONTEXT_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "htm/co_task.hh"
+#include "htm/htm_system.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Awaitable single memory operation (load or store, word or line). */
+class MemOp
+{
+  public:
+    MemOp(HtmSystem &sys, CoreId core, DomainId domain, Addr addr,
+          bool is_write, bool whole_line, std::uint64_t wdata)
+        : _sys(sys), _core(core), _domain(domain), _addr(addr),
+          _isWrite(is_write), _wholeLine(whole_line), _wdata(wdata)
+    {
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        const AccessResult r = _sys.issueAccess(_core, _domain, _addr,
+                                                _isWrite, _wholeLine,
+                                                _wdata);
+        _data = r.data;
+        _sys.eventQueue().scheduleAt(r.completeAt, [h] { h.resume(); });
+    }
+
+    /** @throws TxAborted if this core's transaction is doomed. */
+    std::uint64_t
+    await_resume() const
+    {
+        if (_sys.abortPending(_core))
+            throw TxAborted{};
+        return _data;
+    }
+
+  private:
+    HtmSystem &_sys;
+    CoreId _core;
+    DomainId _domain;
+    Addr _addr;
+    bool _isWrite;
+    bool _wholeLine;
+    std::uint64_t _wdata;
+    std::uint64_t _data = 0;
+};
+
+/**
+ * Awaitable burst of line accesses issued back to back (memory-level
+ * parallelism). Used by the memory-intensive background applications
+ * whose LLC pressure the paper's consolidation experiments rely on.
+ */
+class BurstOp
+{
+  public:
+    BurstOp(HtmSystem &sys, CoreId core, DomainId domain, Addr base_line,
+            unsigned lines, bool is_write)
+        : _sys(sys), _core(core), _domain(domain), _base(base_line),
+          _lines(lines), _isWrite(is_write)
+    {
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        Tick done = _sys.eventQueue().now();
+        for (unsigned i = 0; i < _lines; ++i) {
+            const AccessResult r =
+                _sys.issueAccess(_core, _domain, _base + i * kLineBytes,
+                                 _isWrite, true, 0);
+            if (r.completeAt > done)
+                done = r.completeAt;
+        }
+        _sys.eventQueue().scheduleAt(done, [h] { h.resume(); });
+    }
+
+    void
+    await_resume() const
+    {
+        if (_sys.abortPending(_core))
+            throw TxAborted{};
+    }
+
+  private:
+    HtmSystem &_sys;
+    CoreId _core;
+    DomainId _domain;
+    Addr _base;
+    unsigned _lines;
+    bool _isWrite;
+};
+
+/** Awaitable commit protocol. */
+class CommitOp
+{
+  public:
+    CommitOp(HtmSystem &sys, CoreId core) : _sys(sys), _core(core) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        const Tick done = _sys.issueCommit(_core);
+        _sys.eventQueue().scheduleAt(done, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    HtmSystem &_sys;
+    CoreId _core;
+};
+
+/** Awaitable abort protocol plus backoff delay. */
+class AbortOp
+{
+  public:
+    AbortOp(HtmSystem &sys, CoreId core, Tick backoff)
+        : _sys(sys), _core(core), _backoff(backoff)
+    {
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        const Tick done = _sys.issueAbort(_core) + _backoff;
+        _sys.eventQueue().scheduleAt(done, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    HtmSystem &_sys;
+    CoreId _core;
+    Tick _backoff;
+};
+
+/** Awaitable wait for the domain's slow-path lock to be released. */
+class LockWait
+{
+  public:
+    LockWait(HtmSystem &sys, DomainId domain) : _sys(sys), _domain(domain)
+    {
+    }
+
+    bool await_ready() const { return !_sys.domainLocked(_domain); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        _sys.waitForDomainLock(_domain, h);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    HtmSystem &_sys;
+    DomainId _domain;
+};
+
+/** Per-thread execution statistics. */
+struct TxContextStats
+{
+    std::uint64_t commits = 0;
+    std::uint64_t serializedCommits = 0;
+    std::uint64_t aborts = 0;
+};
+
+/**
+ * Per-hardware-thread handle to the transactional memory system.
+ * See the file comment for usage.
+ */
+class TxContext
+{
+  public:
+    /**
+     * @param sys the machine.
+     * @param core hardware thread this context runs on.
+     * @param domain conflict domain (simulated process) of the thread.
+     * @param seed backoff-jitter RNG seed.
+     */
+    TxContext(HtmSystem &sys, CoreId core, DomainId domain,
+              std::uint64_t seed = 1)
+        : _sys(sys), _core(core), _domain(domain), _rng(seed ^ core)
+    {
+    }
+
+    /** @name Memory operations (transactional inside run(), plain
+     *        timed accesses outside)
+     *  @{ */
+
+    /** Load a 64-bit word. */
+    MemOp
+    read64(Addr a)
+    {
+        return MemOp(_sys, _core, _domain, a, false, false, 0);
+    }
+
+    /** Store a 64-bit word. */
+    MemOp
+    write64(Addr a, std::uint64_t v)
+    {
+        return MemOp(_sys, _core, _domain, a, true, false, v);
+    }
+
+    /** Touch a whole 64B line with a load. */
+    MemOp
+    readLine(Addr line_base)
+    {
+        return MemOp(_sys, _core, _domain, line_base, false, true, 0);
+    }
+
+    /** Store a whole 64B line (pattern replicated). */
+    MemOp
+    writeLine(Addr line_base, std::uint64_t pattern)
+    {
+        return MemOp(_sys, _core, _domain, line_base, true, true, pattern);
+    }
+
+    /** Streaming burst of line reads/writes (background apps). */
+    BurstOp
+    burst(Addr base_line, unsigned lines, bool is_write = false)
+    {
+        return BurstOp(_sys, _core, _domain, base_line, lines, is_write);
+    }
+
+    /** Spend @p d ticks of compute time. */
+    auto compute(Tick d) { return delayFor(_sys.eventQueue(), d); }
+
+    /** @} */
+
+    /**
+     * Execute @p body as one transaction with Algorithm-1 retry
+     * semantics. @p body is invoked once per attempt and must be a
+     * callable (TxContext&) -> CoTask<void> whose side effects live
+     * entirely in simulated memory.
+     */
+    template <typename Body>
+    CoTask<void>
+    run(Body body)
+    {
+        int attempt = 0;
+        bool serialize = false;
+        for (;;) {
+            while (_sys.domainLocked(_domain))
+                co_await LockWait(_sys, _domain);
+            if (serialize) {
+                _sys.beginSerializedTx(_core, _domain, attempt);
+                co_await body(*this);
+                co_await CommitOp(_sys, _core);
+                ++_stats.commits;
+                ++_stats.serializedCommits;
+                co_return;
+            }
+            _sys.beginTx(_core, _domain, attempt);
+            bool aborted = false;
+            try {
+                // co_await is not permitted inside a handler, so the
+                // abort path only records the outcome here.
+                co_await body(*this);
+                if (_sys.abortPending(_core))
+                    throw TxAborted{};
+            } catch (const TxAborted &) {
+                aborted = true;
+            }
+            if (!aborted) {
+                co_await CommitOp(_sys, _core);
+                ++_stats.commits;
+                co_return;
+            }
+            _lastAbortCause = _sys.currentTx(_core)->abortCause;
+            ++_stats.aborts;
+            co_await AbortOp(_sys, _core, backoffDelay(attempt));
+            ++attempt;
+            // Capacity overflows repeat after restart: go straight to
+            // the slow path (Algorithm 1 line 15). Conflicts retry
+            // until the limit.
+            if (_lastAbortCause == AbortCause::Capacity)
+                serialize = true;
+            else if (attempt > _sys.policy().maxRetries)
+                serialize = true;
+        }
+    }
+
+    /** Cause of the most recent abort on this context. */
+    AbortCause lastAbortCause() const { return _lastAbortCause; }
+
+    const TxContextStats &stats() const { return _stats; }
+
+    HtmSystem &system() { return _sys; }
+    CoreId core() const { return _core; }
+    DomainId domain() const { return _domain; }
+    Rng &rng() { return _rng; }
+
+  private:
+    /** Randomized exponential backoff (paper Section IV-E). */
+    Tick
+    backoffDelay(int attempt)
+    {
+        const HtmPolicy &p = _sys.policy();
+        const int shift = attempt < 14 ? attempt : 14;
+        Tick span = p.backoffBase << shift;
+        if (span > p.backoffMax)
+            span = p.backoffMax;
+        return _rng.range(span / 2, span);
+    }
+
+    HtmSystem &_sys;
+    CoreId _core;
+    DomainId _domain;
+    Rng _rng;
+    TxContextStats _stats;
+    AbortCause _lastAbortCause = AbortCause::None;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_TX_CONTEXT_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-transaction runtime state (descriptor) and the transaction status
+ * structure (TSS).
+ *
+ * The TSS is the paper's global structure tracking every running
+ * transaction: id, abortion flag, overflow bit (Section IV-E). The
+ * descriptor additionally holds the simulator-side state: the
+ * speculative write buffer (functional isolation), precise read/write
+ * sets (ground truth for false-positive classification and the Ideal
+ * system), address signatures, the overflow list, and statistics.
+ */
+
+#ifndef UHTM_HTM_TX_DESC_HH
+#define UHTM_HTM_TX_DESC_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "htm/config.hh"
+#include "htm/signature.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Lifecycle states of a transaction. */
+enum class TxStatus
+{
+    Running,
+    Committing,
+    Committed,
+    Aborted,
+};
+
+/** Per-transaction runtime state. */
+struct TxDesc
+{
+    TxId id = kNoTx;
+    CoreId core = kNoCore;
+    DomainId domain = 0;
+    TxStatus status = TxStatus::Running;
+
+    /** Serialized slow-path execution (holds the domain lock). */
+    bool serialized = false;
+
+    /** TSS overflow bit: some line left the on-chip caches. */
+    bool overflowed = false;
+
+    /** TSS abortion flag, set by conflict resolution. */
+    bool abortRequested = false;
+    AbortCause abortCause = AbortCause::None;
+    /** Transaction that won the conflict (kNoTx for capacity/lock). */
+    TxId abortedBy = kNoTx;
+
+    /** Retry count of the logical operation this attempt belongs to. */
+    int attempt = 0;
+
+    Tick beginTick = 0;
+
+    /** Speculative write buffer: full line images, copy-on-first-write. */
+    std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>>
+        writeBuffer;
+
+    /** Pre-images captured at copy-on-first-write (lost-update audit:
+     *  if the architectural line changed under us without a conflict
+     *  abort, the isolation protocol has a hole). */
+    std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>>
+        preImage;
+
+    /** Precise sets (line base addresses). */
+    std::unordered_set<Addr> readSet;
+    std::unordered_set<Addr> writeSet;
+
+    /** Off-chip (LLC-overflowed) membership, for tests/accounting. */
+    std::unordered_set<Addr> overflowedLines;
+
+    /**
+     * Overflow list: addresses of L1-evicted write-set lines, used to
+     * locate the write set in the LLC / DRAM cache at commit and abort
+     * without scanning them (paper Section IV-B). Stored in the DRAM
+     * cache; walks are charged DRAM latency.
+     */
+    std::vector<Addr> overflowList;
+    std::unordered_set<Addr> overflowListMembers;
+
+    /** DRAM lines overflowed under redo-mode (read indirection). */
+    std::unordered_set<Addr> redoDramLines;
+
+    /** Address signatures for off-chip detection. */
+    BloomSignature readSig;
+    BloomSignature writeSig;
+
+    /** Durability horizon of this transaction's NVM redo records. */
+    Tick logsDurableAt = 0;
+
+    /** Number of undo-log records (overflowed DRAM lines, undo mode). */
+    std::uint64_t undoRecords = 0;
+
+    /** Per-attempt access counters. */
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    TxDesc(TxId id_, CoreId core_, DomainId domain_, unsigned sig_bits,
+           unsigned sig_hashes)
+        : id(id_), core(core_), domain(domain_),
+          readSig(sig_bits, sig_hashes), writeSig(sig_bits, sig_hashes)
+    {
+    }
+
+    /** True while conflict checks should consider this transaction. */
+    bool
+    active() const
+    {
+        return status == TxStatus::Running ||
+               status == TxStatus::Committing;
+    }
+
+    /** Footprint of the current attempt in bytes (lines touched). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        // readSet and writeSet overlap; count union.
+        std::uint64_t lines = writeSet.size();
+        for (Addr a : readSet)
+            if (!writeSet.count(a))
+                ++lines;
+        return lines * kLineBytes;
+    }
+
+    /** Record a line in the overflow list exactly once. */
+    void
+    noteOverflowListEntry(Addr line)
+    {
+        if (overflowListMembers.insert(line).second)
+            overflowList.push_back(line);
+    }
+};
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_TX_DESC_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sparse functional memory image.
+ *
+ * The simulator separates function from timing (see DESIGN.md): the
+ * BackingStore holds the actual bytes of the simulated machine while the
+ * cache/controller models only account for time and conflicts. Pages are
+ * allocated lazily so multi-GiB address spaces cost only what is touched.
+ */
+
+#ifndef UHTM_MEM_BACKING_STORE_HH
+#define UHTM_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Lazily populated byte-addressable memory image. */
+class BackingStore
+{
+  public:
+    static constexpr unsigned kPageBytes = 4096;
+
+    BackingStore() = default;
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
+    BackingStore(BackingStore &&) = default;
+    BackingStore &operator=(BackingStore &&) = default;
+
+    /** Read @p len bytes at @p a into @p out. Unwritten bytes read 0. */
+    void
+    read(Addr a, void *out, std::size_t len) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (len > 0) {
+            const Addr page = pageBase(a);
+            const std::size_t off = a - page;
+            const std::size_t n = std::min(len, kPageBytes - off);
+            auto it = _pages.find(page);
+            if (it == _pages.end())
+                std::memset(dst, 0, n);
+            else
+                std::memcpy(dst, it->second->data() + off, n);
+            a += n;
+            dst += n;
+            len -= n;
+        }
+    }
+
+    /** Write @p len bytes at @p a from @p in. */
+    void
+    write(Addr a, const void *in, std::size_t len)
+    {
+        auto *src = static_cast<const std::uint8_t *>(in);
+        while (len > 0) {
+            const Addr page = pageBase(a);
+            const std::size_t off = a - page;
+            const std::size_t n = std::min(len, kPageBytes - off);
+            std::memcpy(pageFor(page).data() + off, src, n);
+            a += n;
+            src += n;
+            len -= n;
+        }
+    }
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t
+    read64(Addr a) const
+    {
+        std::uint64_t v = 0;
+        read(a, &v, sizeof(v));
+        return v;
+    }
+
+    /** Write a little-endian 64-bit word. */
+    void
+    write64(Addr a, std::uint64_t v)
+    {
+        write(a, &v, sizeof(v));
+    }
+
+    /** Copy one whole cache line out (64 bytes at line-aligned @p a). */
+    void
+    readLine(Addr line_base, std::uint8_t out[kLineBytes]) const
+    {
+        read(line_base, out, kLineBytes);
+    }
+
+    /** Overwrite one whole cache line. */
+    void
+    writeLine(Addr line_base, const std::uint8_t in[kLineBytes])
+    {
+        write(line_base, in, kLineBytes);
+    }
+
+    /** Number of materialised pages (for tests and memory accounting). */
+    std::size_t pageCount() const { return _pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { _pages.clear(); }
+
+    /**
+     * Deep-copy another store's contents into this one (used by crash
+     * injection to snapshot durable state).
+     */
+    void
+    copyFrom(const BackingStore &o)
+    {
+        _pages.clear();
+        for (const auto &[base, page] : o._pages)
+            _pages.emplace(base, std::make_unique<Page>(*page));
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    static Addr
+    pageBase(Addr a)
+    {
+        return a & ~static_cast<Addr>(kPageBytes - 1);
+    }
+
+    Page &
+    pageFor(Addr base)
+    {
+        auto it = _pages.find(base);
+        if (it == _pages.end())
+            it = _pages.emplace(base, std::make_unique<Page>()).first;
+        return *it->second;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_MEM_BACKING_STORE_HH

@@ -1,0 +1,137 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+
+namespace uhtm
+{
+
+namespace
+{
+
+/** Round down to the previous power of two (at least 1). */
+std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while ((p << 1) <= v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, std::uint64_t size_bytes, unsigned ways,
+             bool tx_aware_replacement)
+    : _name(std::move(name)), _ways(ways), _txAware(tx_aware_replacement)
+{
+    assert(ways >= 1);
+    const std::uint64_t lines = size_bytes / kLineBytes;
+    assert(lines >= ways);
+    _numSets = floorPow2(lines / ways);
+    _lines.resize(_numSets * _ways);
+}
+
+std::uint64_t
+Cache::setIndex(Addr line_base) const
+{
+    return lineNumber(line_base) & (_numSets - 1);
+}
+
+CacheLine *
+Cache::setBase(std::uint64_t set)
+{
+    return &_lines[set * _ways];
+}
+
+CacheLine *
+Cache::lookup(Addr line_base)
+{
+    CacheLine *line = peek(line_base);
+    if (line) {
+        ++_stats.hits;
+        touch(*line);
+    } else {
+        ++_stats.misses;
+    }
+    return line;
+}
+
+CacheLine *
+Cache::peek(Addr line_base)
+{
+    CacheLine *set = setBase(setIndex(line_base));
+    for (unsigned w = 0; w < _ways; ++w) {
+        if (set[w].valid && set[w].tag == line_base)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr line_base) const
+{
+    return const_cast<Cache *>(this)->peek(line_base);
+}
+
+CacheLine *
+Cache::allocate(Addr line_base, CacheLine &evicted, bool &had_victim)
+{
+    assert(!peek(line_base) && "line must not already be present");
+    CacheLine *set = setBase(setIndex(line_base));
+
+    CacheLine *victim = nullptr;
+    // Pass 1: invalid way.
+    for (unsigned w = 0; w < _ways && !victim; ++w)
+        if (!set[w].valid)
+            victim = &set[w];
+    // Pass 2 (tx-aware mode only): LRU among non-transactional lines.
+    if (!victim && _txAware) {
+        for (unsigned w = 0; w < _ways; ++w) {
+            if (set[w].txBit())
+                continue;
+            if (!victim || set[w].lru < victim->lru)
+                victim = &set[w];
+        }
+    }
+    // Pass 3: plain LRU.
+    if (!victim) {
+        victim = &set[0];
+        for (unsigned w = 1; w < _ways; ++w)
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+    }
+
+    had_victim = victim->valid;
+    if (had_victim) {
+        ++_stats.evictions;
+        if (victim->txBit())
+            ++_stats.txEvictions;
+        if (MemLayout::kindOf(victim->tag) == MemKind::Nvm)
+            ++_stats.evictionsNvm;
+        evicted = *victim;
+    }
+
+    victim->reset();
+    victim->valid = true;
+    victim->tag = line_base;
+    touch(*victim);
+    return victim;
+}
+
+void
+Cache::invalidate(Addr line_base)
+{
+    if (CacheLine *line = peek(line_base))
+        line->reset();
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : _lines)
+        line.reset();
+    _lruClock = 0;
+    _stats = Stats{};
+}
+
+} // namespace uhtm

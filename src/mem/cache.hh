@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Set-associative cache tag/metadata array.
+ *
+ * Caches in this simulator are timing + metadata only: the functional
+ * bytes live in the BackingStore and per-transaction write buffers. A
+ * cache line therefore carries a tag, dirty bit, transactional
+ * read/write markers and — for the shared LLC, which embeds the
+ * directory — sharer/owner tracking with the paper's Tx-bit, Tx-Owner
+ * and Tx-Sharer fields (Section IV-D).
+ */
+
+#ifndef UHTM_MEM_CACHE_HH
+#define UHTM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/layout.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Metadata of one cache line. Directory fields are used by the LLC. */
+struct CacheLine
+{
+    /** Line base address; only meaningful when valid. */
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+
+    /** L1 only: the copy has write permission (MESI E/M). */
+    bool exclusive = false;
+
+    /**
+     * Transaction that speculatively wrote this line (kNoTx if none).
+     * In an L1 this is the local running transaction; in the LLC it is
+     * the directory's Tx-Owner field.
+     */
+    TxId txWriter = kNoTx;
+
+    /**
+     * Transactions that transactionally read this line (directory
+     * Tx-Sharer list; in an L1 at most the local transaction).
+     */
+    std::vector<TxId> txReaders;
+
+    /** LRU timestamp (larger = more recently used). */
+    std::uint64_t lru = 0;
+
+    /** Directory: bitmask of cores holding an L1 copy. */
+    std::uint64_t sharers = 0;
+
+    /** Directory: core whose L1 holds the line modified (exclusive). */
+    CoreId ownerCore = kNoCore;
+
+    /** Paper's Tx-bit: set when any transactional metadata is present. */
+    bool
+    txBit() const
+    {
+        return txWriter != kNoTx || !txReaders.empty();
+    }
+
+    /** True if transaction @p tx is registered as a reader. */
+    bool
+    hasTxReader(TxId tx) const
+    {
+        for (TxId r : txReaders)
+            if (r == tx)
+                return true;
+        return false;
+    }
+
+    /** Register @p tx as a transactional reader (idempotent). */
+    void
+    addTxReader(TxId tx)
+    {
+        if (!hasTxReader(tx))
+            txReaders.push_back(tx);
+    }
+
+    /** Remove transaction @p tx from the reader list. */
+    void
+    removeTxReader(TxId tx)
+    {
+        for (std::size_t i = 0; i < txReaders.size(); ++i) {
+            if (txReaders[i] == tx) {
+                txReaders[i] = txReaders.back();
+                txReaders.pop_back();
+                return;
+            }
+        }
+    }
+
+    /** Drop all transactional metadata (on commit/abort cleanup). */
+    void
+    clearTxMeta()
+    {
+        txWriter = kNoTx;
+        txReaders.clear();
+    }
+
+    /** Reset to the invalid state. */
+    void
+    reset()
+    {
+        *this = CacheLine{};
+    }
+};
+
+/**
+ * A set-associative tag array with LRU replacement.
+ *
+ * By default victim selection is transaction-agnostic LRU, as in real
+ * cache hierarchies — which is precisely why co-running applications
+ * evict transactional lines and cause capacity overflows (paper
+ * Section III-C). An optional tx-aware mode prefers non-transactional
+ * victims (evaluated as an ablation).
+ */
+class Cache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t txEvictions = 0;
+        /** Evictions of NVM-region lines (workload data). */
+        std::uint64_t evictionsNvm = 0;
+    };
+
+    /**
+     * @param name for reports.
+     * @param size_bytes total capacity.
+     * @param ways associativity.
+     * @param tx_aware_replacement prefer non-transactional victims.
+     */
+    Cache(std::string name, std::uint64_t size_bytes, unsigned ways,
+          bool tx_aware_replacement = false);
+
+    /** Find the line holding @p line_base, or nullptr. Counts hit/miss. */
+    CacheLine *lookup(Addr line_base);
+
+    /** Find without touching statistics or LRU. */
+    CacheLine *peek(Addr line_base);
+    const CacheLine *peek(Addr line_base) const;
+
+    /**
+     * Allocate a way for @p line_base (which must not be present).
+     * If a valid victim had to be displaced, it is copied to @p evicted
+     * and true is returned via @p had_victim. The returned slot is
+     * reset, validated and tagged; the caller fills in the rest.
+     */
+    CacheLine *allocate(Addr line_base, CacheLine &evicted,
+                        bool &had_victim);
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine &line) { line.lru = ++_lruClock; }
+
+    /** Invalidate @p line_base if present. */
+    void invalidate(Addr line_base);
+
+    /** Invoke @p fn on every valid line (tests, scans). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &line : _lines)
+            if (line.valid)
+                fn(line);
+    }
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+    unsigned ways() const { return _ways; }
+    std::uint64_t numSets() const { return _numSets; }
+    std::uint64_t capacityLines() const { return _numSets * _ways; }
+    const Stats &stats() const { return _stats; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::uint64_t setIndex(Addr line_base) const;
+    CacheLine *setBase(std::uint64_t set);
+
+    std::string _name;
+    unsigned _ways;
+    bool _txAware;
+    std::uint64_t _numSets;
+    std::vector<CacheLine> _lines;
+    std::uint64_t _lruClock = 0;
+    Stats _stats;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_MEM_CACHE_HH

@@ -1,0 +1,207 @@
+#include "mem/dram_cache.hh"
+
+#include <cassert>
+
+namespace uhtm
+{
+
+namespace
+{
+
+std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while ((p << 1) <= v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+DramCache::DramCache(std::uint64_t size_bytes, unsigned ways) : _ways(ways)
+{
+    assert(ways >= 1);
+    const std::uint64_t lines = size_bytes / kLineBytes;
+    assert(lines >= ways);
+    _numSets = floorPow2(lines / ways);
+    _entries.resize(_numSets * _ways);
+}
+
+std::uint64_t
+DramCache::setIndex(Addr line_base) const
+{
+    return lineNumber(line_base) & (_numSets - 1);
+}
+
+DramCacheEntry *
+DramCache::lookup(Addr line_base)
+{
+    DramCacheEntry *e = peek(line_base);
+    if (e && !e->invalidated) {
+        ++_stats.hits;
+        e->lru = ++_lruClock;
+        return e;
+    }
+    ++_stats.misses;
+    return nullptr;
+}
+
+DramCacheEntry *
+DramCache::peek(Addr line_base)
+{
+    DramCacheEntry *set = &_entries[setIndex(line_base) * _ways];
+    for (unsigned w = 0; w < _ways; ++w)
+        if (set[w].valid && set[w].tag == line_base)
+            return &set[w];
+    return nullptr;
+}
+
+void
+DramCache::evict(DramCacheEntry &victim)
+{
+    ++_stats.evictions;
+    if (victim.invalidated) {
+        // Aborted data: drop silently.
+    } else if (victim.tx != kNoTx) {
+        // Uncommitted line forced out; its bytes remain recoverable from
+        // the redo log, so it is safe (if slow) to drop it here.
+        ++_stats.uncommittedDrops;
+    } else if (victim.dirty) {
+        ++_stats.writeBacks;
+        if (_writeBack)
+            _writeBack(victim.tag, victim.data);
+    }
+    victim = DramCacheEntry{};
+}
+
+DramCacheEntry *
+DramCache::insert(Addr line_base, TxId tx)
+{
+    if (DramCacheEntry *e = peek(line_base)) {
+        // Refresh in place; a new transactional write supersedes an
+        // invalidated or committed entry for the same line.
+        if (e->tx != tx && !e->invalidated && e->tx == kNoTx && e->dirty) {
+            // Committed data being overwritten by a new speculative
+            // write must first reach in-place NVM or it would be lost
+            // on abort of the new transaction.
+            ++_stats.writeBacks;
+            if (_writeBack)
+                _writeBack(e->tag, e->data);
+            e->dirty = false;
+        }
+        e->tx = tx;
+        e->invalidated = false;
+        e->lru = ++_lruClock;
+        return e;
+    }
+
+    DramCacheEntry *set = &_entries[setIndex(line_base) * _ways];
+    DramCacheEntry *victim = nullptr;
+    for (unsigned w = 0; w < _ways && !victim; ++w)
+        if (!set[w].valid)
+            victim = &set[w];
+    if (!victim) {
+        // Prefer invalidated, then committed-clean, then LRU overall.
+        for (unsigned w = 0; w < _ways && !victim; ++w)
+            if (set[w].invalidated)
+                victim = &set[w];
+        if (!victim) {
+            for (unsigned w = 0; w < _ways; ++w) {
+                if (set[w].tx != kNoTx)
+                    continue;
+                if (!victim || set[w].lru < victim->lru)
+                    victim = &set[w];
+            }
+        }
+        if (!victim) {
+            victim = &set[0];
+            for (unsigned w = 1; w < _ways; ++w)
+                if (set[w].lru < victim->lru)
+                    victim = &set[w];
+        }
+        evict(*victim);
+    }
+
+    victim->valid = true;
+    victim->tag = line_base;
+    victim->tx = tx;
+    victim->dirty = false;
+    victim->invalidated = false;
+    victim->lru = ++_lruClock;
+    return victim;
+}
+
+void
+DramCache::commitTx(
+    TxId tx,
+    const std::function<void(Addr, std::array<std::uint8_t, kLineBytes> &)>
+        &fetch)
+{
+    for (auto &e : _entries) {
+        if (e.valid && e.tx == tx && !e.invalidated) {
+            fetch(e.tag, e.data);
+            e.tx = kNoTx;
+            e.dirty = true;
+        }
+    }
+}
+
+bool
+DramCache::commitEntry(Addr line_base, TxId tx,
+                       const std::array<std::uint8_t, kLineBytes> &data)
+{
+    DramCacheEntry *e = peek(line_base);
+    if (!e || e->tx != tx || e->invalidated)
+        return false;
+    e->data = data;
+    e->tx = kNoTx;
+    e->dirty = true;
+    return true;
+}
+
+void
+DramCache::abortTx(TxId tx)
+{
+    for (auto &e : _entries) {
+        if (e.valid && e.tx == tx) {
+            e.invalidated = true;
+            ++_stats.invalidations;
+        }
+    }
+}
+
+void
+DramCache::invalidateEntry(Addr line_base, TxId tx)
+{
+    if (DramCacheEntry *e = peek(line_base)) {
+        if (e->tx == tx) {
+            e->invalidated = true;
+            ++_stats.invalidations;
+        }
+    }
+}
+
+void
+DramCache::flushAll()
+{
+    for (auto &e : _entries) {
+        if (e.valid && !e.invalidated && e.tx == kNoTx && e.dirty) {
+            ++_stats.writeBacks;
+            if (_writeBack)
+                _writeBack(e.tag, e.data);
+            e.dirty = false;
+        }
+    }
+}
+
+void
+DramCache::reset()
+{
+    for (auto &e : _entries)
+        e = DramCacheEntry{};
+    _lruClock = 0;
+    _stats = Stats{};
+}
+
+} // namespace uhtm

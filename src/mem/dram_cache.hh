@@ -1,0 +1,150 @@
+/**
+ * @file
+ * DRAM cache in front of NVM (the hardware-logging substrate of [28]).
+ *
+ * The DRAM cache sits between the LLC and the NVM controller. It plays
+ * three roles from the paper (Section IV-B):
+ *   1. buffers "early-evicted" (LLC-overflowed) transactional NVM lines
+ *      so that uncommitted data never reaches in-place NVM locations;
+ *   2. replaces NVM redo-log searches with faster DRAM lookups;
+ *   3. lazily updates in-place NVM data when committed lines are
+ *      evicted, off the commit critical path.
+ *
+ * Entries carry the committed line bytes so eviction writes exactly the
+ * value that committed (this is what makes crash recovery exact; see
+ * DESIGN.md). Uncommitted entries are marked with their transaction id
+ * and flipped to invalid by the abort protocol's invalidate bit.
+ */
+
+#ifndef UHTM_MEM_DRAM_CACHE_HH
+#define UHTM_MEM_DRAM_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** One DRAM-cache entry for an NVM line. */
+struct DramCacheEntry
+{
+    Addr tag = 0;
+    bool valid = false;
+    /** Holds committed data that must eventually reach in-place NVM. */
+    bool dirty = false;
+    /** Uncommitted owner transaction; kNoTx once committed. */
+    TxId tx = kNoTx;
+    /** Abort protocol sets this instead of eagerly clearing the entry. */
+    bool invalidated = false;
+    /** Committed line bytes (valid when dirty and tx == kNoTx). */
+    std::array<std::uint8_t, kLineBytes> data{};
+    std::uint64_t lru = 0;
+};
+
+/**
+ * Set-associative DRAM cache over NVM lines.
+ *
+ * The owner wires up @c writeBack, called when a committed dirty entry
+ * is evicted and its bytes must be written to in-place NVM (durable
+ * image + NVM controller timing).
+ */
+class DramCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t uncommittedDrops = 0;
+        std::uint64_t writeBacks = 0;
+        std::uint64_t invalidations = 0;
+    };
+
+    /** Callback: write @p data to in-place NVM at @p line_base. */
+    using WriteBackFn =
+        std::function<void(Addr line_base,
+                           const std::array<std::uint8_t, kLineBytes> &)>;
+
+    DramCache(std::uint64_t size_bytes, unsigned ways);
+
+    /** Install the in-place write-back hook. */
+    void setWriteBack(WriteBackFn fn) { _writeBack = std::move(fn); }
+
+    /** Find a live entry (valid and not invalidated). Counts hit/miss. */
+    DramCacheEntry *lookup(Addr line_base);
+
+    /** Find without statistics, including invalidated entries. */
+    DramCacheEntry *peek(Addr line_base);
+
+    /**
+     * Insert (or refresh) an entry for @p line_base.
+     * Eviction of a committed dirty victim triggers the write-back
+     * callback; eviction of an uncommitted victim just drops it (its
+     * data is recoverable from the redo log) and is counted.
+     */
+    DramCacheEntry *insert(Addr line_base, TxId tx);
+
+    /**
+     * Commit all entries belonging to @p tx: stamp them with the
+     * committed @p data source and clear the owner id. O(cache size);
+     * prefer commitEntry() driven by the overflow list in hot paths.
+     * @param fetch returns the committed bytes for a line.
+     */
+    void
+    commitTx(TxId tx,
+             const std::function<void(
+                 Addr, std::array<std::uint8_t, kLineBytes> &)> &fetch);
+
+    /**
+     * Commit a single entry of @p tx (overflow-list driven): store the
+     * committed bytes and clear the owner id.
+     * @retval true the entry was found and committed.
+     */
+    bool commitEntry(Addr line_base, TxId tx,
+                     const std::array<std::uint8_t, kLineBytes> &data);
+
+    /** Abort: set the invalidate bit on every entry owned by @p tx. */
+    void abortTx(TxId tx);
+
+    /** Invalidate one entry of @p tx (overflow-list driven abort). */
+    void invalidateEntry(Addr line_base, TxId tx);
+
+    /** Flush every committed dirty entry to in-place NVM (tests). */
+    void flushAll();
+
+    /** Drop everything. */
+    void reset();
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &e : _entries)
+            if (e.valid)
+                fn(e);
+    }
+
+    const Stats &stats() const { return _stats; }
+    std::uint64_t capacityLines() const { return _numSets * _ways; }
+
+  private:
+    std::uint64_t setIndex(Addr line_base) const;
+    void evict(DramCacheEntry &victim);
+
+    unsigned _ways;
+    std::uint64_t _numSets;
+    std::vector<DramCacheEntry> _entries;
+    std::uint64_t _lruClock = 0;
+    WriteBackFn _writeBack;
+    Stats _stats;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_MEM_DRAM_CACHE_HH

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * NVM redo-log area with durability tracking ([28]-style hardware
+ * logging).
+ *
+ * Every transactional NVM store appends/updates a redo record carrying
+ * the new line image. Records become *durable* when their asynchronous
+ * NVM log write completes (the HTM layer stamps durableAt from the NVM
+ * controller). A transaction's commit waits until all of its records
+ * are durable, then appends a commit record; the transaction is
+ * *committed-durable* once that record's write completes.
+ *
+ * Crash recovery replays, in commit order, the records of transactions
+ * whose commit record was durable at the crash tick, over the durable
+ * in-place NVM image (paper Section IV-C).
+ */
+
+#ifndef UHTM_MEM_REDO_LOG_HH
+#define UHTM_MEM_REDO_LOG_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** One redo record: the new image of an NVM line. */
+struct RedoEntry
+{
+    Addr line = 0;
+    std::array<std::uint8_t, kLineBytes> newData{};
+    /** Tick at which the async log write completes ("durable"). */
+    Tick durableAt = 0;
+};
+
+/** The reserved NVM log area. */
+class RedoLogArea
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t appends = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t commits = 0;
+        std::uint64_t aborts = 0;
+        std::uint64_t reclaimed = 0;
+        std::uint64_t peakBytes = 0;
+        std::uint64_t replayedEntries = 0;
+    };
+
+    explicit RedoLogArea(std::uint64_t capacity_bytes)
+        : _capacity(capacity_bytes)
+    {
+    }
+
+    /**
+     * Record the new image of @p line for @p tx.
+     * A second write to an already-logged line coalesces into the
+     * existing record (write-combining in the log buffer) and refreshes
+     * its durability stamp.
+     * @retval true a new record was appended (charge a log write);
+     * @retval false the record was coalesced.
+     */
+    bool
+    append(TxId tx, Addr line,
+           const std::array<std::uint8_t, kLineBytes> &new_data,
+           Tick durable_at)
+    {
+        auto &txlog = _logs[tx];
+        auto it = txlog.lines.find(line);
+        if (it != txlog.lines.end()) {
+            RedoEntry &e = txlog.entries[it->second];
+            e.newData = new_data;
+            e.durableAt = std::max(e.durableAt, durable_at);
+            ++_stats.coalesced;
+            return false;
+        }
+        txlog.lines.emplace(line, txlog.entries.size());
+        txlog.entries.push_back(RedoEntry{line, new_data, durable_at});
+        ++_stats.appends;
+        _bytes += kEntryBytes;
+        _stats.peakBytes = std::max(_stats.peakBytes, _bytes);
+        return true;
+    }
+
+    /** Latest durability stamp over all records of @p tx (0 if none). */
+    Tick
+    logsDurableAt(TxId tx) const
+    {
+        auto it = _logs.find(tx);
+        if (it == _logs.end())
+            return 0;
+        Tick t = 0;
+        for (const auto &e : it->second.entries)
+            t = std::max(t, e.durableAt);
+        return t;
+    }
+
+    /** Number of records held for @p tx. */
+    std::size_t
+    entryCount(TxId tx) const
+    {
+        auto it = _logs.find(tx);
+        return it == _logs.end() ? 0 : it->second.entries.size();
+    }
+
+    /** True if (tx, line) has a record. */
+    bool
+    contains(TxId tx, Addr line) const
+    {
+        auto it = _logs.find(tx);
+        return it != _logs.end() && it->second.lines.count(line) > 0;
+    }
+
+    /**
+     * Mark @p tx committed. @p commit_durable_at is the completion tick
+     * of the commit-record write; recovery honours the transaction only
+     * if the crash happens at or after this tick.
+     */
+    void
+    commit(TxId tx, Tick commit_durable_at)
+    {
+        auto it = _logs.find(tx);
+        if (it == _logs.end()) {
+            // A durable transaction with an empty NVM write set still
+            // writes a commit record; nothing to replay though.
+            return;
+        }
+        it->second.committed = true;
+        it->second.commitSeq = _nextCommitSeq++;
+        it->second.commitDurableAt = commit_durable_at;
+        ++_stats.commits;
+    }
+
+    /**
+     * Mark @p tx aborted. Deletion is deferred (paper: "defers log
+     * deletion to the background"); reclaimAborted() models the
+     * background reclaimer.
+     */
+    void
+    abort(TxId tx)
+    {
+        auto it = _logs.find(tx);
+        if (it == _logs.end())
+            return;
+        it->second.aborted = true;
+        ++_stats.aborts;
+    }
+
+    /** Background reclaim of aborted transactions' records. */
+    void
+    reclaimAborted()
+    {
+        for (auto it = _logs.begin(); it != _logs.end();) {
+            if (it->second.aborted) {
+                _stats.reclaimed += it->second.entries.size();
+                _bytes -= it->second.entries.size() * kEntryBytes;
+                it = _logs.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /**
+     * Reclaim committed transactions whose in-place updates are known
+     * complete (the HTM layer calls this once the DRAM cache has
+     * written a transaction's lines back, or periodically).
+     */
+    void
+    reclaimCommitted(TxId tx)
+    {
+        auto it = _logs.find(tx);
+        if (it == _logs.end() || !it->second.committed)
+            return;
+        _stats.reclaimed += it->second.entries.size();
+        _bytes -= it->second.entries.size() * kEntryBytes;
+        _logs.erase(it);
+    }
+
+    /**
+     * Crash recovery: replay onto @p durable_image every record of every
+     * transaction whose commit record was durable by @p crash_tick, in
+     * commit order. Uncommitted and aborted logs are disregarded.
+     * @return number of transactions replayed.
+     */
+    std::size_t
+    replayCommitted(BackingStore &durable_image, Tick crash_tick)
+    {
+        std::vector<const TxLog *> order;
+        for (const auto &[tx, log] : _logs) {
+            if (log.committed && !log.aborted &&
+                log.commitDurableAt <= crash_tick) {
+                order.push_back(&log);
+            }
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const TxLog *a, const TxLog *b) {
+                      return a->commitSeq < b->commitSeq;
+                  });
+        for (const TxLog *log : order) {
+            for (const RedoEntry &e : log->entries) {
+                durable_image.writeLine(e.line, e.newData.data());
+                ++_stats.replayedEntries;
+            }
+        }
+        return order.size();
+    }
+
+    std::uint64_t bytesUsed() const { return _bytes; }
+    bool full() const { return _bytes + kEntryBytes > _capacity; }
+
+    /** Grow the reserved area (OS trap, paper Section IV-E). */
+    void expand(std::uint64_t extra_bytes) { _capacity += extra_bytes; }
+
+    /** Reserved capacity in bytes. */
+    std::uint64_t capacity() const { return _capacity; }
+
+    const Stats &stats() const { return _stats; }
+
+    void
+    reset()
+    {
+        _logs.clear();
+        _bytes = 0;
+        _nextCommitSeq = 1;
+        _stats = Stats{};
+    }
+
+  private:
+    static constexpr std::uint64_t kEntryBytes = kLineBytes + 16;
+
+    struct TxLog
+    {
+        std::vector<RedoEntry> entries;
+        std::unordered_map<Addr, std::size_t> lines;
+        bool committed = false;
+        bool aborted = false;
+        std::uint64_t commitSeq = 0;
+        Tick commitDurableAt = 0;
+    };
+
+    std::uint64_t _capacity;
+    std::uint64_t _bytes = 0;
+    std::uint64_t _nextCommitSeq = 1;
+    std::unordered_map<TxId, TxLog> _logs;
+    Stats _stats;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_MEM_REDO_LOG_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Discrete-event queue driving the whole simulation.
+ *
+ * Events are arbitrary callables scheduled at an absolute tick. Events
+ * scheduled for the same tick execute in scheduling order (a per-queue
+ * sequence number breaks ties), which keeps the simulation deterministic.
+ */
+
+#ifndef UHTM_SIM_EVENT_QUEUE_HH
+#define UHTM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue owns simulated time: time only advances when events are
+ * popped. Callbacks may schedule further events (including at the
+ * current tick, which run later in the same tick).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback @p delay ticks in the future.
+     * @return the absolute tick at which the event will fire.
+     */
+    Tick
+    schedule(Tick delay, Callback cb)
+    {
+        return scheduleAt(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Schedule a callback at absolute tick @p when.
+     * Scheduling in the past is a programming error and fires the
+     * event at the current tick instead.
+     */
+    Tick
+    scheduleAt(Tick when, Callback cb)
+    {
+        if (when < _now)
+            when = _now;
+        _heap.push(Entry{when, _nextSeq++, std::move(cb)});
+        return when;
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Execute a single event, advancing time to its tick.
+     * @retval true an event was executed.
+     * @retval false the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (_heap.empty())
+            return false;
+        // std::priority_queue::top() returns a const ref; the callback
+        // must be moved out before pop, so copy the entry.
+        Entry e = _heap.top();
+        _heap.pop();
+        _now = e.when;
+        ++_executed;
+        e.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. */
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p limit. Events at exactly @p limit still execute.
+     */
+    void
+    runUntil(Tick limit)
+    {
+        while (!_heap.empty() && _heap.top().when <= limit)
+            step();
+        if (_now < limit && _heap.empty())
+            _now = limit;
+    }
+
+    /**
+     * Run until @p done returns true or the queue drains.
+     * The predicate is checked after every event.
+     */
+    void
+    runWhile(const std::function<bool()> &keep_going)
+    {
+        while (keep_going() && step()) {
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * The simulator never uses std::random_device or global state: every
+ * consumer owns an Rng seeded from the experiment configuration so runs
+ * are reproducible bit-for-bit.
+ */
+
+#ifndef UHTM_SIM_RANDOM_HH
+#define UHTM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace uhtm
+{
+
+/** SplitMix64, used to expand seeds. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Small, fast and statistically strong enough
+ * for workload key generation and backoff jitter.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) { reseed(seed); }
+
+    /** Re-initialise the state from a single 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &w : _s)
+            w = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation (biased by at
+        // most 2^-64, irrelevant for workload purposes).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4] = {};
+};
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_RANDOM_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Hot paths update plain counters; formatting/aggregation lives in the
+ * harness. Distribution keeps streaming moments so that latencies can be
+ * reported without storing samples.
+ */
+
+#ifndef UHTM_SIM_STATS_HH
+#define UHTM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace uhtm
+{
+
+/** Streaming distribution: count, mean, min, max. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void
+    reset()
+    {
+        *this = Distribution{};
+    }
+
+    /** Merge another distribution into this one. */
+    void
+    merge(const Distribution &o)
+    {
+        _count += o._count;
+        _sum += o._sum;
+        _min = std::min(_min, o._min);
+        _max = std::max(_max, o._max);
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named bag of scalar statistics, used at reporting time to assemble
+ * per-component stats into tables. Insertion order is not preserved
+ * (keys are sorted), which keeps reports stable across runs.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double v) { _vals[name] = v; }
+
+    void
+    add(const std::string &name, double v)
+    {
+        _vals[name] += v;
+    }
+
+    double
+    get(const std::string &name) const
+    {
+        auto it = _vals.find(name);
+        return it == _vals.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &name) const { return _vals.count(name) > 0; }
+
+    const std::map<std::string, double> &values() const { return _vals; }
+
+  private:
+    std::map<std::string, double> _vals;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_STATS_HH

@@ -1,0 +1,72 @@
+#include "sim/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace uhtm::trace
+{
+
+namespace
+{
+unsigned g_mask = 0;
+} // namespace
+
+unsigned
+enabledMask()
+{
+    return g_mask;
+}
+
+void
+enable(unsigned mask)
+{
+    g_mask |= mask;
+}
+
+void
+disableAll()
+{
+    g_mask = 0;
+}
+
+void
+initFromEnv()
+{
+    const char *env = std::getenv("UHTM_TRACE");
+    if (!env)
+        return;
+    std::string spec(env);
+    auto has = [&spec](const char *name) {
+        return spec.find(name) != std::string::npos;
+    };
+    if (has("all"))
+        enable(kAll);
+    if (has("cache"))
+        enable(kCache);
+    if (has("coherence"))
+        enable(kCoherence);
+    if (has("tx"))
+        enable(kTx);
+    if (has("log"))
+        enable(kLog);
+    if (has("conflict"))
+        enable(kConflict);
+    if (has("workload"))
+        enable(kWorkload);
+    if (has("mem"))
+        enable(kMem);
+}
+
+void
+printLine(Tick now, const char *cat, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%12lu %-12s ", static_cast<unsigned long>(now),
+                 cat);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace uhtm::trace

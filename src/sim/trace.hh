@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal categorised debug tracing.
+ *
+ * Tracing is off by default and enabled per category at runtime (e.g.
+ * from a test or via the UHTM_TRACE environment variable, a comma
+ * separated category list, with "all" enabling everything). Trace output
+ * goes to stderr and is purely diagnostic; no simulator behaviour may
+ * depend on it.
+ */
+
+#ifndef UHTM_SIM_TRACE_HH
+#define UHTM_SIM_TRACE_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace uhtm::trace
+{
+
+/** Trace categories, one bit each. */
+enum Category : unsigned
+{
+    kCache = 1u << 0,
+    kCoherence = 1u << 1,
+    kTx = 1u << 2,
+    kLog = 1u << 3,
+    kConflict = 1u << 4,
+    kWorkload = 1u << 5,
+    kMem = 1u << 6,
+    kAll = ~0u,
+};
+
+/** Currently enabled categories (bitmask). */
+unsigned enabledMask();
+
+/** Enable categories in @p mask (does not clear others). */
+void enable(unsigned mask);
+
+/** Disable all tracing. */
+void disableAll();
+
+/** Initialise the mask from the UHTM_TRACE environment variable. */
+void initFromEnv();
+
+/** True if @p cat tracing is on. */
+inline bool
+enabled(Category cat)
+{
+    return (enabledMask() & cat) != 0;
+}
+
+/** printf-style trace line, prefixed with the simulated tick. */
+void printLine(Tick now, const char *cat, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace uhtm::trace
+
+/**
+ * Trace macro: evaluates arguments only when the category is enabled.
+ * Usage: UHTM_TRACE(kTx, eq.now(), "tx %lu begin", id);
+ */
+#define UHTM_TRACE(cat, now, ...)                                          \
+    do {                                                                   \
+        if (::uhtm::trace::enabled(::uhtm::trace::cat))                    \
+            ::uhtm::trace::printLine((now), #cat, __VA_ARGS__);            \
+    } while (0)
+
+#endif // UHTM_SIM_TRACE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fundamental simulator types: ticks, addresses, identifiers.
+ *
+ * The simulator uses a picosecond tick so that sub-nanosecond cache
+ * latencies (e.g. the 1.5ns L1 of the paper's Table III) are exact.
+ */
+
+#ifndef UHTM_SIM_TYPES_HH
+#define UHTM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace uhtm
+{
+
+/** Simulated time. One tick is one picosecond. */
+using Tick = std::uint64_t;
+
+/** Physical address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Index of a simulated core (also the hardware thread index). */
+using CoreId = std::uint32_t;
+
+/**
+ * Globally unique transaction identifier. Monotonically increasing,
+ * drawn from a global counter as described in Section IV-C of the paper.
+ * Value 0 means "no transaction".
+ */
+using TxId = std::uint64_t;
+
+/** Conflict-domain (process / address-space group) identifier. */
+using DomainId = std::uint32_t;
+
+/** Sentinel for "no transaction". */
+inline constexpr TxId kNoTx = 0;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Ticks per nanosecond (tick = 1ps). */
+inline constexpr Tick kTicksPerNs = 1000;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+ticksFromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs));
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+nsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Cache-line size in bytes. All conflict tracking is line-granular. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** log2 of the line size. */
+inline constexpr unsigned kLineShift = 6;
+
+static_assert((1u << kLineShift) == kLineBytes);
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number of an address. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Kibibytes to bytes. */
+constexpr std::uint64_t
+KiB(std::uint64_t n)
+{
+    return n << 10;
+}
+
+/** Mebibytes to bytes. */
+constexpr std::uint64_t
+MiB(std::uint64_t n)
+{
+    return n << 20;
+}
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_TYPES_HH

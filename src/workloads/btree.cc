@@ -1,0 +1,483 @@
+#include "workloads/btree.hh"
+
+#include <functional>
+
+namespace uhtm
+{
+
+SimBTree::SimBTree(HtmSystem &sys, RegionAllocator &regions, MemKind kind)
+    : _sys(sys), _kind(kind)
+{
+    _rootPtr = regions.reserve(kind, kLineBytes);
+    sys.setupWrite64(_rootPtr, 0);
+}
+
+CoTask<Addr>
+SimBTree::newNode(TxContext &ctx, TxAllocator &alloc, bool leaf)
+{
+    const Addr node = co_await alloc.alloc(ctx, kNodeBytes);
+    co_await ctx.write64(node + kOffLeaf, leaf ? 1 : 0);
+    co_await ctx.write64(node + kOffN, 0);
+    if (leaf)
+        co_await ctx.write64(slotAddr(node, kNextSlot), 0);
+    co_return node;
+}
+
+CoTask<void>
+SimBTree::splitChild(TxContext &ctx, TxAllocator &alloc, Addr parent,
+                     unsigned idx)
+{
+    const Addr child = co_await ctx.read64(slotAddr(parent, idx));
+    const bool leaf = co_await ctx.read64(child + kOffLeaf) != 0;
+    const Addr right = co_await newNode(ctx, alloc, leaf);
+
+    std::uint64_t separator;
+    if (leaf) {
+        // Right leaf takes the upper half; the separator is its first
+        // key (B+tree: separators duplicate leaf keys).
+        constexpr unsigned keep = kOrder / 2;
+        for (unsigned i = keep; i < kOrder; ++i) {
+            const std::uint64_t k = co_await ctx.read64(keyAddr(child, i));
+            const std::uint64_t v =
+                co_await ctx.read64(slotAddr(child, i));
+            co_await ctx.write64(keyAddr(right, i - keep), k);
+            co_await ctx.write64(slotAddr(right, i - keep), v);
+        }
+        co_await ctx.write64(right + kOffN, kOrder - keep);
+        co_await ctx.write64(child + kOffN, keep);
+        // Link into the leaf chain.
+        const Addr next =
+            co_await ctx.read64(slotAddr(child, kNextSlot));
+        co_await ctx.write64(slotAddr(right, kNextSlot), next);
+        co_await ctx.write64(slotAddr(child, kNextSlot), right);
+        separator = co_await ctx.read64(keyAddr(right, 0));
+    } else {
+        // Internal node: the middle key moves up.
+        constexpr unsigned mid = kOrder / 2;
+        separator = co_await ctx.read64(keyAddr(child, mid));
+        for (unsigned i = mid + 1; i < kOrder; ++i) {
+            const std::uint64_t k = co_await ctx.read64(keyAddr(child, i));
+            co_await ctx.write64(keyAddr(right, i - mid - 1), k);
+        }
+        for (unsigned i = mid + 1; i <= kOrder; ++i) {
+            const std::uint64_t c =
+                co_await ctx.read64(slotAddr(child, i));
+            co_await ctx.write64(slotAddr(right, i - mid - 1), c);
+        }
+        co_await ctx.write64(right + kOffN, kOrder - mid - 1);
+        co_await ctx.write64(child + kOffN, mid);
+    }
+
+    // Shift the parent's keys/children right of idx and install the
+    // separator and the new right child.
+    const std::uint64_t pn = co_await ctx.read64(parent + kOffN);
+    for (std::uint64_t i = pn; i > idx; --i) {
+        const std::uint64_t k =
+            co_await ctx.read64(keyAddr(parent, i - 1));
+        co_await ctx.write64(keyAddr(parent, i), k);
+    }
+    for (std::uint64_t i = pn + 1; i > idx + 1; --i) {
+        const std::uint64_t c =
+            co_await ctx.read64(slotAddr(parent, i - 1));
+        co_await ctx.write64(slotAddr(parent, i), c);
+    }
+    co_await ctx.write64(keyAddr(parent, idx), separator);
+    co_await ctx.write64(slotAddr(parent, idx + 1), right);
+    co_await ctx.write64(parent + kOffN, pn + 1);
+}
+
+CoTask<void>
+SimBTree::insertIntoLeaf(TxContext &ctx, Addr leaf, std::uint64_t key,
+                         std::uint64_t value)
+{
+    const std::uint64_t n = co_await ctx.read64(leaf + kOffN);
+    std::uint64_t pos = 0;
+    while (pos < n) {
+        const std::uint64_t k = co_await ctx.read64(keyAddr(leaf, pos));
+        if (k == key) {
+            co_await ctx.write64(slotAddr(leaf, pos), value);
+            co_return;
+        }
+        if (k > key)
+            break;
+        ++pos;
+    }
+    for (std::uint64_t i = n; i > pos; --i) {
+        const std::uint64_t k = co_await ctx.read64(keyAddr(leaf, i - 1));
+        const std::uint64_t v = co_await ctx.read64(slotAddr(leaf, i - 1));
+        co_await ctx.write64(keyAddr(leaf, i), k);
+        co_await ctx.write64(slotAddr(leaf, i), v);
+    }
+    co_await ctx.write64(keyAddr(leaf, pos), key);
+    co_await ctx.write64(slotAddr(leaf, pos), value);
+    co_await ctx.write64(leaf + kOffN, n + 1);
+}
+
+CoTask<void>
+SimBTree::insert(TxContext &ctx, TxAllocator &alloc, std::uint64_t key,
+                 std::uint64_t value)
+{
+    // Update-aware fast path: overwrite in place when the key already
+    // exists. Without this, the preemptive-split descent would split
+    // full nodes even for pure overwrites, writing shared internal
+    // nodes on an update-only workload.
+    {
+        Addr node = co_await ctx.read64(_rootPtr);
+        if (node != 0) {
+            while (!co_await ctx.read64(node + kOffLeaf)) {
+                const std::uint64_t n = co_await ctx.read64(node + kOffN);
+                unsigned idx = 0;
+                while (idx < n) {
+                    const std::uint64_t k =
+                        co_await ctx.read64(keyAddr(node, idx));
+                    if (key < k)
+                        break;
+                    ++idx;
+                }
+                node = co_await ctx.read64(slotAddr(node, idx));
+            }
+            const std::uint64_t n = co_await ctx.read64(node + kOffN);
+            for (unsigned i = 0; i < n; ++i) {
+                if (co_await ctx.read64(keyAddr(node, i)) == key) {
+                    co_await ctx.write64(slotAddr(node, i), value);
+                    co_return;
+                }
+            }
+        }
+    }
+
+    Addr root = co_await ctx.read64(_rootPtr);
+    if (root == 0) {
+        root = co_await newNode(ctx, alloc, true);
+        co_await ctx.write64(keyAddr(root, 0), key);
+        co_await ctx.write64(slotAddr(root, 0), value);
+        co_await ctx.write64(root + kOffN, 1);
+        co_await ctx.write64(_rootPtr, root);
+        co_return;
+    }
+    if (co_await ctx.read64(root + kOffN) == kOrder) {
+        const Addr new_root = co_await newNode(ctx, alloc, false);
+        co_await ctx.write64(slotAddr(new_root, 0), root);
+        co_await splitChild(ctx, alloc, new_root, 0);
+        co_await ctx.write64(_rootPtr, new_root);
+        root = new_root;
+    }
+
+    Addr node = root;
+    for (;;) {
+        if (co_await ctx.read64(node + kOffLeaf)) {
+            co_await insertIntoLeaf(ctx, node, key, value);
+            co_return;
+        }
+        const std::uint64_t n = co_await ctx.read64(node + kOffN);
+        unsigned idx = 0;
+        while (idx < n) {
+            const std::uint64_t k =
+                co_await ctx.read64(keyAddr(node, idx));
+            if (key < k)
+                break;
+            ++idx;
+        }
+        Addr child = co_await ctx.read64(slotAddr(node, idx));
+        if (co_await ctx.read64(child + kOffN) == kOrder) {
+            co_await splitChild(ctx, alloc, node, idx);
+            const std::uint64_t sep =
+                co_await ctx.read64(keyAddr(node, idx));
+            if (key >= sep)
+                ++idx;
+            child = co_await ctx.read64(slotAddr(node, idx));
+        }
+        node = child;
+    }
+}
+
+CoTask<std::uint64_t>
+SimBTree::lookup(TxContext &ctx, std::uint64_t key)
+{
+    Addr node = co_await ctx.read64(_rootPtr);
+    if (node == 0)
+        co_return 0;
+    while (!co_await ctx.read64(node + kOffLeaf)) {
+        const std::uint64_t n = co_await ctx.read64(node + kOffN);
+        unsigned idx = 0;
+        while (idx < n) {
+            const std::uint64_t k =
+                co_await ctx.read64(keyAddr(node, idx));
+            if (key < k)
+                break;
+            ++idx;
+        }
+        node = co_await ctx.read64(slotAddr(node, idx));
+    }
+    const std::uint64_t n = co_await ctx.read64(node + kOffN);
+    for (unsigned i = 0; i < n; ++i) {
+        if (co_await ctx.read64(keyAddr(node, i)) == key)
+            co_return co_await ctx.read64(slotAddr(node, i));
+    }
+    co_return 0;
+}
+
+CoTask<std::uint64_t>
+SimBTree::scan(TxContext &ctx, std::uint64_t lo, std::uint64_t hi)
+{
+    // Descend to the leaf that may contain lo, then follow the chain.
+    Addr node = co_await ctx.read64(_rootPtr);
+    if (node == 0)
+        co_return 0;
+    while (!co_await ctx.read64(node + kOffLeaf)) {
+        const std::uint64_t n = co_await ctx.read64(node + kOffN);
+        unsigned idx = 0;
+        while (idx < n) {
+            const std::uint64_t k =
+                co_await ctx.read64(keyAddr(node, idx));
+            if (lo < k)
+                break;
+            ++idx;
+        }
+        node = co_await ctx.read64(slotAddr(node, idx));
+    }
+    std::uint64_t count = 0;
+    while (node != 0) {
+        const std::uint64_t n = co_await ctx.read64(node + kOffN);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t k = co_await ctx.read64(keyAddr(node, i));
+            if (k > hi)
+                co_return count;
+            if (k >= lo) {
+                co_await ctx.read64(slotAddr(node, i));
+                ++count;
+            }
+        }
+        node = co_await ctx.read64(slotAddr(node, kNextSlot));
+    }
+    co_return count;
+}
+
+void
+SimBTree::insertSetup(TxAllocator &alloc, std::uint64_t key,
+                      std::uint64_t value)
+{
+    // Functional mirror of insert() over setup accessors.
+    auto rd = [&](Addr a) { return _sys.setupRead64(a); };
+    auto wr = [&](Addr a, std::uint64_t v) { _sys.setupWrite64(a, v); };
+    auto mknode = [&](bool leaf) {
+        const Addr n = alloc.allocSetup(_sys, kNodeBytes);
+        wr(n + kOffLeaf, leaf ? 1 : 0);
+        wr(n + kOffN, 0);
+        if (leaf)
+            wr(slotAddr(n, kNextSlot), 0);
+        return n;
+    };
+    auto split = [&](Addr parent, unsigned idx) {
+        const Addr child = rd(slotAddr(parent, idx));
+        const bool leaf = rd(child + kOffLeaf) != 0;
+        const Addr right = mknode(leaf);
+        std::uint64_t separator;
+        if (leaf) {
+            constexpr unsigned keep = kOrder / 2;
+            for (unsigned i = keep; i < kOrder; ++i) {
+                wr(keyAddr(right, i - keep), rd(keyAddr(child, i)));
+                wr(slotAddr(right, i - keep), rd(slotAddr(child, i)));
+            }
+            wr(right + kOffN, kOrder - keep);
+            wr(child + kOffN, keep);
+            wr(slotAddr(right, kNextSlot), rd(slotAddr(child, kNextSlot)));
+            wr(slotAddr(child, kNextSlot), right);
+            separator = rd(keyAddr(right, 0));
+        } else {
+            constexpr unsigned mid = kOrder / 2;
+            separator = rd(keyAddr(child, mid));
+            for (unsigned i = mid + 1; i < kOrder; ++i)
+                wr(keyAddr(right, i - mid - 1), rd(keyAddr(child, i)));
+            for (unsigned i = mid + 1; i <= kOrder; ++i)
+                wr(slotAddr(right, i - mid - 1), rd(slotAddr(child, i)));
+            wr(right + kOffN, kOrder - mid - 1);
+            wr(child + kOffN, mid);
+        }
+        const std::uint64_t pn = rd(parent + kOffN);
+        for (std::uint64_t i = pn; i > idx; --i)
+            wr(keyAddr(parent, i), rd(keyAddr(parent, i - 1)));
+        for (std::uint64_t i = pn + 1; i > idx + 1; --i)
+            wr(slotAddr(parent, i), rd(slotAddr(parent, i - 1)));
+        wr(keyAddr(parent, idx), separator);
+        wr(slotAddr(parent, idx + 1), right);
+        wr(parent + kOffN, pn + 1);
+    };
+
+    Addr root = rd(_rootPtr);
+    if (root == 0) {
+        root = mknode(true);
+        wr(keyAddr(root, 0), key);
+        wr(slotAddr(root, 0), value);
+        wr(root + kOffN, 1);
+        wr(_rootPtr, root);
+        return;
+    }
+    if (rd(root + kOffN) == kOrder) {
+        const Addr new_root = mknode(false);
+        wr(slotAddr(new_root, 0), root);
+        split(new_root, 0);
+        wr(_rootPtr, new_root);
+        root = new_root;
+    }
+    Addr node = root;
+    for (;;) {
+        if (rd(node + kOffLeaf)) {
+            const std::uint64_t n = rd(node + kOffN);
+            std::uint64_t pos = 0;
+            while (pos < n) {
+                const std::uint64_t k = rd(keyAddr(node, pos));
+                if (k == key) {
+                    wr(slotAddr(node, pos), value);
+                    return;
+                }
+                if (k > key)
+                    break;
+                ++pos;
+            }
+            for (std::uint64_t i = n; i > pos; --i) {
+                wr(keyAddr(node, i), rd(keyAddr(node, i - 1)));
+                wr(slotAddr(node, i), rd(slotAddr(node, i - 1)));
+            }
+            wr(keyAddr(node, pos), key);
+            wr(slotAddr(node, pos), value);
+            wr(node + kOffN, n + 1);
+            return;
+        }
+        const std::uint64_t n = rd(node + kOffN);
+        unsigned idx = 0;
+        while (idx < n && key >= rd(keyAddr(node, idx)))
+            ++idx;
+        Addr child = rd(slotAddr(node, idx));
+        if (rd(child + kOffN) == kOrder) {
+            split(node, idx);
+            if (key >= rd(keyAddr(node, idx)))
+                ++idx;
+            child = rd(slotAddr(node, idx));
+        }
+        node = child;
+    }
+}
+
+std::uint64_t
+SimBTree::lookupFunctional(std::uint64_t key) const
+{
+    Addr node = _sys.setupRead64(_rootPtr);
+    if (node == 0)
+        return 0;
+    while (!_sys.setupRead64(node + kOffLeaf)) {
+        const std::uint64_t n = _sys.setupRead64(node + kOffN);
+        unsigned idx = 0;
+        while (idx < n && key >= _sys.setupRead64(keyAddr(node, idx)))
+            ++idx;
+        node = _sys.setupRead64(slotAddr(node, idx));
+    }
+    const std::uint64_t n = _sys.setupRead64(node + kOffN);
+    for (unsigned i = 0; i < n; ++i)
+        if (_sys.setupRead64(keyAddr(node, i)) == key)
+            return _sys.setupRead64(slotAddr(node, i));
+    return 0;
+}
+
+std::vector<std::uint64_t>
+SimBTree::keysFunctional() const
+{
+    std::vector<std::uint64_t> keys;
+    Addr node = _sys.setupRead64(_rootPtr);
+    if (node == 0)
+        return keys;
+    while (!_sys.setupRead64(node + kOffLeaf))
+        node = _sys.setupRead64(slotAddr(node, 0));
+    while (node != 0) {
+        const std::uint64_t n = _sys.setupRead64(node + kOffN);
+        for (unsigned i = 0; i < n; ++i)
+            keys.push_back(_sys.setupRead64(keyAddr(node, i)));
+        node = _sys.setupRead64(slotAddr(node, kNextSlot));
+    }
+    return keys;
+}
+
+std::uint64_t
+SimBTree::sizeFunctional() const
+{
+    return keysFunctional().size();
+}
+
+bool
+SimBTree::validateNode(Addr node, std::uint64_t lo, std::uint64_t hi,
+                       bool has_lo, bool has_hi, int depth,
+                       int &leaf_depth, std::string *why) const
+{
+    const std::uint64_t n = _sys.setupRead64(node + kOffN);
+    if (n == 0 || n > kOrder) {
+        if (why)
+            *why = "bad key count " + std::to_string(n);
+        return false;
+    }
+    std::uint64_t prev = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t k = _sys.setupRead64(keyAddr(node, i));
+        if (i > 0 && k <= prev) {
+            if (why)
+                *why = "keys not strictly increasing";
+            return false;
+        }
+        if ((has_lo && k < lo) || (has_hi && k >= hi)) {
+            if (why)
+                *why = "key out of separator range";
+            return false;
+        }
+        prev = k;
+    }
+    if (_sys.setupRead64(node + kOffLeaf)) {
+        if (leaf_depth < 0)
+            leaf_depth = depth;
+        if (leaf_depth != depth) {
+            if (why)
+                *why = "leaves at different depths";
+            return false;
+        }
+        return true;
+    }
+    for (unsigned i = 0; i <= n; ++i) {
+        const Addr child = _sys.setupRead64(slotAddr(node, i));
+        if (child == 0) {
+            if (why)
+                *why = "null child pointer";
+            return false;
+        }
+        const std::uint64_t clo =
+            i == 0 ? lo : _sys.setupRead64(keyAddr(node, i - 1));
+        const bool c_has_lo = i == 0 ? has_lo : true;
+        const std::uint64_t chi =
+            i == n ? hi : _sys.setupRead64(keyAddr(node, i));
+        const bool c_has_hi = i == n ? has_hi : true;
+        if (!validateNode(child, clo, chi, c_has_lo, c_has_hi, depth + 1,
+                          leaf_depth, why))
+            return false;
+    }
+    return true;
+}
+
+bool
+SimBTree::validateFunctional(std::string *why) const
+{
+    const Addr root = _sys.setupRead64(_rootPtr);
+    if (root == 0)
+        return true;
+    int leaf_depth = -1;
+    if (!validateNode(root, 0, 0, false, false, 0, leaf_depth, why))
+        return false;
+    // Leaf chain must enumerate the same keys in sorted order.
+    auto keys = keysFunctional();
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        if (keys[i] <= keys[i - 1]) {
+            if (why)
+                *why = "leaf chain out of order";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace uhtm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Transactional B+tree over simulated memory (the PMDK btree example
+ * rebuilt for the simulator).
+ *
+ * Order-16 B+tree with top-down preemptive splitting: full children are
+ * split during descent so inserts never propagate upward, which keeps
+ * each insert a single root-to-leaf pass. Nodes span several cache
+ * lines (as PMDK's paged example nodes do), so leaf updates and shifts
+ * touch multiple lines — the write amplification that makes the B-Tree
+ * benchmark overflow-prone in the paper.
+ *
+ * Node layout (288B used, line-aligned to 320B):
+ *   isLeaf@0, nkeys@8, keys[16]@16, slots[17]@144
+ *   - internal: slots are child pointers (nkeys+1 used)
+ *   - leaf: slots[0..nkeys) are values, slots[16] is the next-leaf link
+ */
+
+#ifndef UHTM_WORKLOADS_BTREE_HH
+#define UHTM_WORKLOADS_BTREE_HH
+
+#include "workloads/sim_index.hh"
+
+namespace uhtm
+{
+
+/** Transactional B+tree. */
+class SimBTree : public SimIndex
+{
+  public:
+    /** Maximum keys per node. */
+    static constexpr std::uint64_t kOrder = 16;
+
+    /**
+     * Build an empty tree.
+     * @param kind memory the tree (root pointer and nodes) lives in.
+     */
+    SimBTree(HtmSystem &sys, RegionAllocator &regions, MemKind kind);
+
+    CoTask<void> insert(TxContext &ctx, TxAllocator &alloc,
+                        std::uint64_t key, std::uint64_t value) override;
+    CoTask<std::uint64_t> lookup(TxContext &ctx,
+                                 std::uint64_t key) override;
+
+    /**
+     * Range scan: read every leaf entry with key in [lo, hi] through
+     * the leaf chain. @return number of entries read. Used by the
+     * DRAM-index scan path of the hybrid key-value store.
+     */
+    CoTask<std::uint64_t> scan(TxContext &ctx, std::uint64_t lo,
+                               std::uint64_t hi);
+
+    std::uint64_t lookupFunctional(std::uint64_t key) const override;
+    std::uint64_t sizeFunctional() const override;
+    std::vector<std::uint64_t> keysFunctional() const override;
+    bool validateFunctional(std::string *why) const override;
+
+    /** Functional insert for setup phases. */
+    void insertSetup(TxAllocator &alloc, std::uint64_t key,
+                     std::uint64_t value);
+
+  private:
+    static constexpr unsigned kOffLeaf = 0;
+    static constexpr unsigned kOffN = 8;
+    static constexpr unsigned kOffKeys = 16;
+    static constexpr unsigned kOffSlots = 16 + 8 * kOrder;
+    static constexpr unsigned kNextSlot = kOrder; // leaf next-link slot
+    static constexpr std::uint64_t kNodeBytes = 320;
+
+    Addr keyAddr(Addr node, unsigned i) const
+    {
+        return node + kOffKeys + 8 * i;
+    }
+    Addr slotAddr(Addr node, unsigned i) const
+    {
+        return node + kOffSlots + 8 * i;
+    }
+
+    /** Allocate and zero-initialize a node (transactional). */
+    CoTask<Addr> newNode(TxContext &ctx, TxAllocator &alloc, bool leaf);
+
+    /**
+     * Split the full child at @p idx of @p parent (parent not full).
+     * Leaves the separator in parent->keys[idx].
+     */
+    CoTask<void> splitChild(TxContext &ctx, TxAllocator &alloc,
+                            Addr parent, unsigned idx);
+
+    /** Insert into a non-full leaf (overwrite on duplicate). */
+    CoTask<void> insertIntoLeaf(TxContext &ctx, Addr leaf,
+                                std::uint64_t key, std::uint64_t value);
+
+    /** Functional recursive validator. */
+    bool validateNode(Addr node, std::uint64_t lo, std::uint64_t hi,
+                      bool has_lo, bool has_hi, int depth,
+                      int &leaf_depth, std::string *why) const;
+
+    HtmSystem &_sys;
+    MemKind _kind;
+    Addr _rootPtr = 0; ///< simulated address of the root pointer
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_BTREE_HH

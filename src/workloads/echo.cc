@@ -1,0 +1,100 @@
+#include "workloads/echo.hh"
+
+namespace uhtm
+{
+
+EchoKv::EchoKv(HtmSystem &sys, RegionAllocator &regions, EchoParams params,
+               unsigned clients)
+    : _params(params), _clients(clients),
+      _masterAlloc(sys, regions, MemKind::Nvm,
+                   (params.txPerMaster + 2) * params.opsPerTx *
+                           (params.valueBytes + 256) +
+                       MiB(2))
+{
+    _table = std::make_unique<SimHashMap>(sys, regions, MemKind::Nvm,
+                                          params.keyspace);
+    for (unsigned c = 0; c < clients; ++c)
+        _rings.push_back(std::make_unique<SimRing>(sys, regions, 64));
+
+    // Prefill with real blobs so long-running scans have data to read.
+    TxAllocator setup(sys, regions, MemKind::Nvm,
+                      params.prefillKeys *
+                              (params.prefillValueBytes + KiB(1)) +
+                          MiB(1));
+    Rng rng(params.seed * 2654435761ull + 23);
+    for (std::uint64_t i = 0; i < params.prefillKeys; ++i) {
+        const std::uint64_t key = 1 + rng.below(params.keyspace);
+        const Addr blob = setup.allocSetup(sys, params.prefillValueBytes);
+        // Blob contents are zero-filled; the scan only reads them.
+        _table->insertSetup(setup, key, blob);
+        _prefilled.emplace_back(key, blob);
+    }
+}
+
+CoTask<void>
+EchoKv::master(TxContext &ctx, RunControl &rc)
+{
+    Rng rng(_params.seed * 1181783497ull + 99);
+    unsigned next_ring = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+    for (std::uint64_t tx = 0; tx < _params.txPerMaster; ++tx) {
+        if (!_prefilled.empty() && rng.chance(_params.longTxFraction)) {
+            // Long-running read-only transaction: a batch of gets over
+            // randomly selected KV pairs totalling scanBytes.
+            const std::uint64_t gets =
+                std::max<std::uint64_t>(1, _params.scanBytes /
+                                               _params.prefillValueBytes);
+            co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                for (std::uint64_t g = 0; g < gets; ++g) {
+                    const auto &[key, blob] =
+                        _prefilled[rng.below(_prefilled.size())];
+                    co_await _table->lookup(t, key);
+                    co_await readValueBlob(t, blob,
+                                           _params.prefillValueBytes);
+                }
+            });
+            ++_longTxCommits;
+            rc.addOps(ctx.domain(), 1);
+        } else {
+            // Gather a batch of requests from the client rings (out of
+            // transactions), then apply it as one durable transaction.
+            batch.clear();
+            while (batch.size() < _params.opsPerTx) {
+                SimRing &ring = *_rings[next_ring];
+                next_ring = (next_ring + 1) % _clients;
+                if (co_await ring.canPop(ctx))
+                    batch.push_back(co_await ring.pop(ctx));
+                else
+                    co_await ctx.compute(ticksFromNs(200));
+            }
+            co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                for (const auto &[key, pattern] : batch) {
+                    const Addr blob = co_await writeValueBlob(
+                        t, _masterAlloc, _params.valueBytes, pattern);
+                    co_await _table->insert(t, _masterAlloc, key, blob);
+                    co_await t.compute(ticksFromNs(4000));
+                }
+            });
+            rc.addOps(ctx.domain(), batch.size());
+        }
+    }
+}
+
+CoTask<void>
+EchoKv::client(TxContext &ctx, unsigned idx, RunControl &rc)
+{
+    SimRing &ring = *_rings.at(idx);
+    Rng rng(_params.seed * 2466808117ull + idx);
+    while (!rc.stopBackground) {
+        if (co_await ring.canPush(ctx)) {
+            const std::uint64_t key = 1 + rng.below(_params.keyspace);
+            co_await ring.push(ctx, key, rng.next() | 1);
+            // Client-side batching/marshalling time.
+            co_await ctx.compute(ticksFromNs(300));
+        } else {
+            co_await ctx.compute(ticksFromNs(1000));
+        }
+    }
+}
+
+} // namespace uhtm

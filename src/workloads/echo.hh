@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Echo key-value store (WHISPER suite [5][43], paper Fig. 6 and 8).
+ *
+ * A master thread owns a persistent (NVM) hash table; client threads
+ * batch put requests and send them to the master through per-client
+ * request rings (out of transactions). The master applies each batch
+ * as one durable transaction.
+ *
+ * For the long-running read-only experiment (Fig. 8), a configurable
+ * fraction of master transactions are scans: batches of get operations
+ * over randomly selected keys whose value blobs total scanBytes —
+ * transactions that dwarf every on-chip cache and make bounded HTMs
+ * serialize.
+ */
+
+#ifndef UHTM_WORKLOADS_ECHO_HH
+#define UHTM_WORKLOADS_ECHO_HH
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/ring.hh"
+
+namespace uhtm
+{
+
+/** Parameters of an Echo KV instance. */
+struct EchoParams
+{
+    /** Value payload of one put. */
+    std::uint64_t valueBytes = KiB(1);
+    /** Puts batched into one master transaction (footprint knob). */
+    std::uint64_t opsPerTx = 100;
+    /** Committed master transactions for the run. */
+    std::uint64_t txPerMaster = 16;
+    /** Fraction of master transactions that are long read-only scans. */
+    double longTxFraction = 0.0;
+    /** Total bytes read by one long-running read-only transaction. */
+    std::uint64_t scanBytes = MiB(8);
+    std::uint64_t keyspace = 1u << 20;
+    std::uint64_t prefillKeys = 8192;
+    /** Value size used for prefilled blobs (what scans read). */
+    std::uint64_t prefillValueBytes = KiB(1);
+    std::uint64_t seed = 1;
+};
+
+/** Echo key-value store workload: one master, N clients. */
+class EchoKv
+{
+  public:
+    EchoKv(HtmSystem &sys, RegionAllocator &regions, EchoParams params,
+           unsigned clients);
+
+    /** Master loop: apply batches / run scans until the op quota. */
+    CoTask<void> master(TxContext &ctx, RunControl &rc);
+
+    /** Client @p idx: keep the request ring supplied. */
+    CoTask<void> client(TxContext &ctx, unsigned idx, RunControl &rc);
+
+    SimHashMap &table() { return *_table; }
+
+    std::uint64_t longTxCommits() const { return _longTxCommits; }
+
+  private:
+    EchoParams _params;
+    unsigned _clients;
+    std::unique_ptr<SimHashMap> _table;
+    std::vector<std::unique_ptr<SimRing>> _rings;
+    TxAllocator _masterAlloc;
+    /** Prefilled (key, blob) pairs available for scans. */
+    std::vector<std::pair<std::uint64_t, Addr>> _prefilled;
+    std::uint64_t _longTxCommits = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_ECHO_HH

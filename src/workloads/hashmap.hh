@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Open-chaining transactional hash map over simulated memory
+ * (the PMDK hashmap example rebuilt for the simulator).
+ *
+ * Layout:
+ *   bucket array: nbuckets x 8B head pointers (line-aligned)
+ *   node (64B line): key@0, value@8, next@16
+ */
+
+#ifndef UHTM_WORKLOADS_HASHMAP_HH
+#define UHTM_WORKLOADS_HASHMAP_HH
+
+#include "workloads/sim_index.hh"
+
+namespace uhtm
+{
+
+/** Transactional open-chaining hash map. */
+class SimHashMap : public SimIndex
+{
+  public:
+    /**
+     * Build an empty map.
+     * @param sys machine (functional setup + verification walks).
+     * @param regions arena source.
+     * @param kind memory the map lives in (DRAM or NVM).
+     * @param buckets number of buckets (rounded up to a power of two).
+     */
+    SimHashMap(HtmSystem &sys, RegionAllocator &regions, MemKind kind,
+               std::uint64_t buckets);
+
+    CoTask<void> insert(TxContext &ctx, TxAllocator &alloc,
+                        std::uint64_t key, std::uint64_t value) override;
+    CoTask<std::uint64_t> lookup(TxContext &ctx,
+                                 std::uint64_t key) override;
+
+    std::uint64_t lookupFunctional(std::uint64_t key) const override;
+    std::uint64_t sizeFunctional() const override;
+    std::vector<std::uint64_t> keysFunctional() const override;
+    bool validateFunctional(std::string *why) const override;
+
+    /** Functional insert for setup phases (no timing, no transaction). */
+    void insertSetup(TxAllocator &alloc, std::uint64_t key,
+                     std::uint64_t value);
+
+    std::uint64_t buckets() const { return _nbuckets; }
+
+  private:
+    static constexpr unsigned kOffKey = 0;
+    static constexpr unsigned kOffValue = 8;
+    static constexpr unsigned kOffNext = 16;
+
+    Addr bucketAddr(std::uint64_t key) const;
+
+    HtmSystem &_sys;
+    Addr _buckets = 0;
+    std::uint64_t _nbuckets = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_HASHMAP_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memory-intensive background application (the paper's graph500-like
+ * LLC hog, Section III-C: a single such application can keep other
+ * processes out of the shared LLC for most of its execution).
+ *
+ * The hog streams through an array much larger than the LLC with
+ * bursts of line reads (memory-level parallelism), continuously
+ * evicting everyone else's lines — the consolidation pressure that
+ * turns modest transaction footprints into LLC overflows.
+ */
+
+#ifndef UHTM_WORKLOADS_HOG_HH
+#define UHTM_WORKLOADS_HOG_HH
+
+#include "harness/runner.hh"
+#include "workloads/region_alloc.hh"
+
+namespace uhtm
+{
+
+/** Streaming LLC-hog background application. */
+class HogApp
+{
+  public:
+    /**
+     * @param bytes working-set size (should exceed the LLC).
+     * @param burst_lines lines fetched per burst (MLP).
+     * @param gap compute time between bursts (throttles bandwidth so
+     *        the hog pollutes the LLC without starving the channel).
+     */
+    HogApp(HtmSystem &sys, RegionAllocator &regions,
+           std::uint64_t bytes = MiB(48), unsigned burst_lines = 64,
+           Tick gap = ticksFromNs(300))
+        : _lines(bytes / kLineBytes), _burst(burst_lines), _gap(gap)
+    {
+        _base = regions.reserve(MemKind::Dram, bytes);
+    }
+
+    /** Background loop: sweep until the run stops. */
+    CoTask<void>
+    worker(TxContext &ctx, RunControl &rc)
+    {
+        std::uint64_t pos = 0;
+        while (!rc.stopBackground) {
+            co_await ctx.burst(_base + pos * kLineBytes, _burst, false);
+            if (_gap > 0)
+                co_await ctx.compute(_gap);
+            pos += _burst;
+            if (pos + _burst > _lines)
+                pos = 0;
+        }
+    }
+
+    Addr base() const { return _base; }
+    std::uint64_t lines() const { return _lines; }
+
+  private:
+    Addr _base = 0;
+    std::uint64_t _lines;
+    unsigned _burst;
+    Tick _gap;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_HOG_HH

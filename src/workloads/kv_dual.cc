@@ -1,0 +1,147 @@
+#include "workloads/kv_dual.hh"
+
+#include <algorithm>
+
+namespace uhtm
+{
+
+std::uint64_t
+DualKv::pickKey(unsigned worker, bool update, Rng &rng) const
+{
+    // Foreground workers own disjoint key partitions; updates hit the
+    // strided prefilled keys of the partition.
+    const std::uint64_t span = _params.keyspace / _pairs;
+    const std::uint64_t base = 1 + worker * span;
+    if (update) {
+        const std::uint64_t per_part =
+            std::max<std::uint64_t>(1, _params.prefillKeys / _pairs);
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, span / per_part);
+        // Guard band: skip the top strides of the partition so no two
+        // partitions' update keys ever share an index leaf (a shared
+        // boundary leaf makes two deterministic retriers ping-pong
+        // under requester-wins).
+        const std::uint64_t usable =
+            per_part > 32 ? per_part - 16 : per_part;
+        return base + rng.below(usable) * stride;
+    }
+    return base + rng.below(span);
+}
+
+DualKv::DualKv(HtmSystem &sys, RegionAllocator &regions,
+               DualKvParams params, unsigned pairs)
+    : _params(params), _pairs(pairs)
+{
+    _dramMap = std::make_unique<SimHashMap>(sys, regions, MemKind::Dram,
+                                            params.keyspace * 8);
+    _nvmMap = std::make_unique<SimHashMap>(sys, regions, MemKind::Nvm,
+                                           params.keyspace * 8);
+    const std::uint64_t arena =
+        (params.txPerWorker + 2) * params.opsPerTx() *
+            (params.valueBytes + 256) +
+        MiB(2);
+    for (unsigned i = 0; i < pairs; ++i) {
+        _logs.push_back(std::make_unique<SimRing>(
+            sys, regions, 2 * params.opsPerTx() + 64));
+        _dramAllocs.emplace_back(sys, regions, MemKind::Dram, arena);
+        _nvmAllocs.emplace_back(sys, regions, MemKind::Nvm, arena);
+    }
+    TxAllocator setup_dram(sys, regions, MemKind::Dram,
+                           params.prefillKeys * 256 + MiB(1));
+    TxAllocator setup_nvm(sys, regions, MemKind::Nvm,
+                          params.prefillKeys * 256 + MiB(1));
+    Rng rng(params.seed * 2246822519ull + 5);
+    const std::uint64_t span = params.keyspace / pairs;
+    const std::uint64_t per_part =
+        std::max<std::uint64_t>(1, params.prefillKeys / pairs);
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, span / per_part);
+    for (unsigned w = 0; w < pairs; ++w) {
+        const std::uint64_t base = 1 + w * span;
+        for (std::uint64_t j = 0; j < per_part; ++j) {
+            const std::uint64_t key = base + j * stride;
+            const std::uint64_t val = rng.next() | 1;
+            _dramMap->insertSetup(setup_dram, key, val);
+            _nvmMap->insertSetup(setup_nvm, key, val);
+        }
+    }
+}
+
+CoTask<void>
+DualKv::foreground(TxContext &ctx, unsigned idx, RunControl &rc)
+{
+    TxAllocator &alloc = _dramAllocs.at(idx);
+    SimRing &log = *_logs.at(idx);
+    Rng rng(_params.seed * 3266489917ull + idx);
+    const std::uint64_t ops = _params.opsPerTx();
+    std::vector<std::uint64_t> keys(ops);
+    for (std::uint64_t tx = 0; tx < _params.txPerWorker; ++tx) {
+        for (auto &k : keys)
+            k = pickKey(idx, rng.chance(_params.updateFraction), rng);
+        const std::uint64_t pattern = rng.next() | 1;
+        // Volatile transaction against the DRAM store.
+        co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+            for (std::uint64_t k : keys) {
+                const Addr blob = co_await writeValueBlob(
+                    t, alloc, _params.valueBytes, pattern);
+                co_await _dramMap->insert(t, alloc, k, blob);
+                co_await t.compute(ticksFromNs(400));
+            }
+        });
+        rc.addOps(ctx.domain(), ops);
+        // Out-of-transaction hand-off via the cross-referencing log.
+        for (std::uint64_t k : keys) {
+            while (!co_await log.canPush(ctx))
+                co_await ctx.compute(ticksFromNs(500));
+            co_await log.push(ctx, k, pattern);
+        }
+    }
+}
+
+CoTask<void>
+DualKv::background(TxContext &ctx, unsigned idx, RunControl &rc)
+{
+    TxAllocator &alloc = _nvmAllocs.at(idx);
+    SimRing &log = *_logs.at(idx);
+    const std::uint64_t max_batch = _params.opsPerTx();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> batch;
+    for (;;) {
+        batch.clear();
+        while (batch.size() < max_batch && co_await log.canPop(ctx))
+            batch.push_back(co_await log.pop(ctx));
+        if (batch.empty()) {
+            // Drain fully before exiting so the maps converge.
+            if (rc.stopBackground)
+                co_return;
+            co_await ctx.compute(ticksFromNs(500));
+            continue;
+        }
+        co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+            for (const auto &[key, pattern] : batch) {
+                const Addr blob = co_await writeValueBlob(
+                    t, alloc, _params.valueBytes, pattern);
+                co_await _nvmMap->insert(t, alloc, key, blob);
+                co_await t.compute(ticksFromNs(400));
+            }
+        });
+    }
+}
+
+bool
+DualKv::mapsConsistent(std::string *why) const
+{
+    auto dram_keys = _dramMap->keysFunctional();
+    auto nvm_keys = _nvmMap->keysFunctional();
+    std::sort(dram_keys.begin(), dram_keys.end());
+    std::sort(nvm_keys.begin(), nvm_keys.end());
+    if (dram_keys != nvm_keys) {
+        if (why)
+            *why = "map key sets differ (" +
+                   std::to_string(dram_keys.size()) + " vs " +
+                   std::to_string(nvm_keys.size()) + ")";
+        return false;
+    }
+    return true;
+}
+
+} // namespace uhtm

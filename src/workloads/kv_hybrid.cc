@@ -1,0 +1,134 @@
+#include "workloads/kv_hybrid.hh"
+
+#include <algorithm>
+
+namespace uhtm
+{
+
+std::uint64_t
+HybridIndexKv::pickKey(unsigned worker, bool update, Rng &rng) const
+{
+    // Workers own disjoint key partitions (the usual benchmark setup);
+    // updates hit the strided prefilled keys of the partition.
+    const std::uint64_t span = _params.keyspace / _workers;
+    const std::uint64_t base = 1 + worker * span;
+    if (update) {
+        const std::uint64_t per_part =
+            std::max<std::uint64_t>(1, _params.prefillKeys / _workers);
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, span / per_part);
+        // Guard band: skip the top strides of the partition so no two
+        // partitions' update keys ever share an index leaf (a shared
+        // boundary leaf makes two deterministic retriers ping-pong
+        // under requester-wins).
+        const std::uint64_t usable =
+            per_part > 32 ? per_part - 16 : per_part;
+        return base + rng.below(usable) * stride;
+    }
+    return base + rng.below(span);
+}
+
+HybridIndexKv::HybridIndexKv(HtmSystem &sys, RegionAllocator &regions,
+                             HybridKvParams params, unsigned workers)
+    : _params(params), _workers(workers)
+{
+    _nvmIndex = std::make_unique<SimHashMap>(sys, regions, MemKind::Nvm,
+                                             params.keyspace * 8);
+    _dramIndex = std::make_unique<SimBTree>(sys, regions, MemKind::Dram);
+    const std::uint64_t nvm_arena =
+        (params.txPerWorker + 2) * params.opsPerTx() *
+            (params.valueBytes + 256) +
+        MiB(2);
+    const std::uint64_t dram_arena =
+        (params.txPerWorker + 2) * params.opsPerTx() * 256 + MiB(2);
+    for (unsigned w = 0; w < workers; ++w) {
+        _nvmAllocs.emplace_back(sys, regions, MemKind::Nvm, nvm_arena);
+        _dramAllocs.emplace_back(sys, regions, MemKind::Dram, dram_arena);
+    }
+    // Functional prefill keeps both indexes in agreement; keys sit on
+    // the per-partition stride that updates will later hit.
+    TxAllocator setup_nvm(sys, regions, MemKind::Nvm,
+                          params.prefillKeys * 256 + MiB(1));
+    TxAllocator setup_dram(sys, regions, MemKind::Dram,
+                           params.prefillKeys * 512 + MiB(1));
+    Rng rng(params.seed * 40503 + 3);
+    const std::uint64_t span = params.keyspace / workers;
+    const std::uint64_t per_part =
+        std::max<std::uint64_t>(1, params.prefillKeys / workers);
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, span / per_part);
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::uint64_t base = 1 + w * span;
+        for (std::uint64_t j = 0; j < per_part; ++j) {
+            const std::uint64_t key = base + j * stride;
+            const std::uint64_t val = rng.next() | 1;
+            _nvmIndex->insertSetup(setup_nvm, key, val);
+            _dramIndex->insertSetup(setup_dram, key, val);
+        }
+    }
+}
+
+CoTask<void>
+HybridIndexKv::worker(TxContext &ctx, unsigned idx, RunControl &rc)
+{
+    TxAllocator &nvm_alloc = _nvmAllocs.at(idx);
+    TxAllocator &dram_alloc = _dramAllocs.at(idx);
+    Rng rng(_params.seed * 69069 + idx);
+    const std::uint64_t ops = _params.opsPerTx();
+    std::vector<std::uint64_t> keys(ops);
+    for (std::uint64_t tx = 0; tx < _params.txPerWorker; ++tx) {
+        if (rng.chance(_params.scanFraction)) {
+            // Scan via the DRAM B+tree (the reason it exists).
+            const std::uint64_t lo = 1 + rng.below(_params.keyspace);
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(lo + _params.scanSpan,
+                                        _params.keyspace);
+            co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                co_await _dramIndex->scan(t, lo, hi);
+            });
+            rc.addOps(ctx.domain(), 1);
+        } else {
+            for (auto &k : keys)
+                k = pickKey(idx, rng.chance(_params.updateFraction), rng);
+            const std::uint64_t pattern = rng.next() | 1;
+            co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                for (std::uint64_t k : keys) {
+                    const Addr blob = co_await writeValueBlob(
+                        t, nvm_alloc, _params.valueBytes, pattern);
+                    co_await _nvmIndex->insert(t, nvm_alloc, k, blob);
+                    co_await _dramIndex->insert(t, dram_alloc, k, blob);
+                    co_await t.compute(ticksFromNs(1500));
+                }
+            });
+            rc.addOps(ctx.domain(), ops);
+        }
+        co_await ctx.compute(ticksFromNs(200));
+    }
+}
+
+bool
+HybridIndexKv::indexesConsistent(std::string *why) const
+{
+    auto nvm_keys = _nvmIndex->keysFunctional();
+    auto dram_keys = _dramIndex->keysFunctional();
+    std::sort(nvm_keys.begin(), nvm_keys.end());
+    std::sort(dram_keys.begin(), dram_keys.end());
+    if (nvm_keys != dram_keys) {
+        if (why)
+            *why = "index key sets differ (" +
+                   std::to_string(nvm_keys.size()) + " vs " +
+                   std::to_string(dram_keys.size()) + ")";
+        return false;
+    }
+    for (std::uint64_t k : nvm_keys) {
+        if (_nvmIndex->lookupFunctional(k) !=
+            _dramIndex->lookupFunctional(k)) {
+            if (why)
+                *why = "value mismatch at key " + std::to_string(k);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace uhtm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hybrid-Index key-value store (HiKV-style [63], paper Fig. 9a).
+ *
+ * Maintains two indexes over the same data: a hash table in NVM for
+ * point operations and a B+tree in DRAM for scans; the values live in
+ * NVM only. Every put updates both indexes and writes the value blob
+ * inside one transaction — a transaction that manipulates DRAM and NVM
+ * data together, the case only UHTM supports consistently.
+ */
+
+#ifndef UHTM_WORKLOADS_KV_HYBRID_HH
+#define UHTM_WORKLOADS_KV_HYBRID_HH
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/btree.hh"
+#include "workloads/hashmap.hh"
+
+namespace uhtm
+{
+
+/** Parameters of a Hybrid-Index KV instance. */
+struct HybridKvParams
+{
+    /** Per-transaction footprint (paper Fig. 9a sweeps 600KB..1.5MB). */
+    std::uint64_t footprintBytes = KiB(600);
+    /** Value payload of one put. */
+    std::uint64_t valueBytes = KiB(1);
+    /** Committed transactions (batches) per worker. */
+    std::uint64_t txPerWorker = 3;
+    std::uint64_t keyspace = 1u << 20;
+    std::uint64_t prefillKeys = 1u << 16;
+    /**
+     * Fraction of operations that update an existing key. Defaults to
+     * pure updates: with thousand-op batches, any B+tree split writes
+     * an internal node that every concurrent batch reads, so a
+     * realistic update-dominant mix is what keeps true conflicts at
+     * the levels the paper reports.
+     */
+    double updateFraction = 1.0;
+    /** Fraction of transactions that are DRAM-index range scans. */
+    double scanFraction = 0.0;
+    std::uint64_t scanSpan = 4096;
+    std::uint64_t seed = 1;
+
+    std::uint64_t
+    opsPerTx() const
+    {
+        return std::max<std::uint64_t>(1, footprintBytes / valueBytes);
+    }
+};
+
+/** Hybrid-Index key-value store workload. */
+class HybridIndexKv
+{
+  public:
+    HybridIndexKv(HtmSystem &sys, RegionAllocator &regions,
+                  HybridKvParams params, unsigned workers);
+
+    /** Worker body for thread @p idx. */
+    CoTask<void> worker(TxContext &ctx, unsigned idx, RunControl &rc);
+
+    SimHashMap &nvmIndex() { return *_nvmIndex; }
+    SimBTree &dramIndex() { return *_dramIndex; }
+
+    /** Both indexes must agree key-for-key (consistency check). */
+    bool indexesConsistent(std::string *why) const;
+
+  private:
+    std::uint64_t pickKey(unsigned worker, bool update, Rng &rng) const;
+
+    HybridKvParams _params;
+    unsigned _workers = 0;
+    std::unique_ptr<SimHashMap> _nvmIndex;
+    std::unique_ptr<SimBTree> _dramIndex;
+    std::vector<TxAllocator> _nvmAllocs;
+    std::vector<TxAllocator> _dramAllocs;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_KV_HYBRID_HH

@@ -1,0 +1,178 @@
+#include "workloads/pmdk.hh"
+
+namespace uhtm
+{
+
+std::unique_ptr<SimIndex>
+makeSimIndex(IndexKind kind, HtmSystem &sys, RegionAllocator &regions,
+             MemKind mem, std::uint64_t hash_buckets)
+{
+    switch (kind) {
+      case IndexKind::HashMap:
+        return std::make_unique<SimHashMap>(sys, regions, mem,
+                                            hash_buckets);
+      case IndexKind::BTree:
+        return std::make_unique<SimBTree>(sys, regions, mem);
+      case IndexKind::RBTree:
+        return std::make_unique<SimRBTree>(sys, regions, mem);
+      case IndexKind::SkipList:
+        return std::make_unique<SimSkipList>(sys, regions, mem);
+    }
+    return nullptr;
+}
+
+void
+prefillIndex(SimIndex &index, TxAllocator &alloc, Rng &rng,
+             std::uint64_t keys, std::uint64_t keyspace)
+{
+    for (std::uint64_t i = 0; i < keys; ++i) {
+        const std::uint64_t key = 1 + rng.below(keyspace);
+        const std::uint64_t val = rng.next() | 1;
+        if (auto *h = dynamic_cast<SimHashMap *>(&index))
+            h->insertSetup(alloc, key, val);
+        else if (auto *b = dynamic_cast<SimBTree *>(&index))
+            b->insertSetup(alloc, key, val);
+        else if (auto *r = dynamic_cast<SimRBTree *>(&index))
+            r->insertSetup(alloc, key, val);
+        else if (auto *s = dynamic_cast<SimSkipList *>(&index))
+            s->insertSetup(alloc, rng, key, val);
+    }
+}
+
+std::uint64_t
+PmdkBenchmark::arenaBytesPerWorker() const
+{
+    // Values + index nodes for every op, with headroom for splits and
+    // duplicate inserts; arenas are bump-only (aborted allocations
+    // roll back with the transaction).
+    const std::uint64_t per_op = _params.valueBytes + 256;
+    return (_params.txPerWorker + 2) * _params.opsPerTx() * per_op +
+           MiB(2);
+}
+
+std::uint64_t
+PmdkBenchmark::partitionSize() const
+{
+    return _params.partitionKeys ? _params.keyspace / _workers
+                                 : _params.keyspace;
+}
+
+std::uint64_t
+PmdkBenchmark::pickKey(unsigned worker, bool update, Rng &rng) const
+{
+    const std::uint64_t span = partitionSize();
+    const std::uint64_t base =
+        _params.partitionKeys ? 1 + worker * span : 1;
+    if (update) {
+        // Prefilled keys sit on a fixed stride within each partition.
+        const std::uint64_t per_part =
+            std::max<std::uint64_t>(1, _params.prefillKeys / _workers);
+        const std::uint64_t stride = std::max<std::uint64_t>(
+            1, span / per_part);
+        // Guard band: skip the top strides of the partition so no two
+        // partitions' update keys ever share an index leaf (a shared
+        // boundary leaf makes two deterministic retriers ping-pong
+        // under requester-wins).
+        const std::uint64_t usable =
+            per_part > 32 ? per_part - 16 : per_part;
+        return base + rng.below(usable) * stride;
+    }
+    return base + rng.below(span);
+}
+
+PmdkBenchmark::PmdkBenchmark(HtmSystem &sys, RegionAllocator &regions,
+                             PmdkParams params, unsigned workers)
+    : _params(params), _workers(workers)
+{
+    _index = makeSimIndex(params.kind, sys, regions, params.placement,
+                          params.keyspace * 8);
+    for (unsigned w = 0; w < workers; ++w)
+        _allocs.emplace_back(sys, regions, params.placement,
+                             arenaBytesPerWorker());
+    // Prefill functionally so the timed region starts on a populated
+    // structure: the strided keys each worker will later update.
+    TxAllocator setup_alloc(sys, regions, params.placement,
+                            params.prefillKeys * 256 + MiB(1));
+    Rng rng(params.seed * 1315423911ull + 17);
+    const std::uint64_t per_part =
+        std::max<std::uint64_t>(1, params.prefillKeys / workers);
+    const std::uint64_t span = partitionSize();
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, span / per_part);
+    std::vector<std::uint64_t> prefill_keys;
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::uint64_t base = params.partitionKeys ? 1 + w * span : 1;
+        for (std::uint64_t j = 0; j < per_part; ++j)
+            prefill_keys.push_back(base + j * stride);
+        if (!params.partitionKeys)
+            break; // one shared pass covers everything
+    }
+    // Shuffle: inserting keys in sorted order would leave the RB-tree
+    // with cascade-prone color patterns (every random insert then
+    // recolors far up the shared spine and conflicts with all
+    // concurrent descents).
+    for (std::size_t i = prefill_keys.size(); i > 1; --i)
+        std::swap(prefill_keys[i - 1], prefill_keys[rng.below(i)]);
+    for (std::uint64_t key : prefill_keys) {
+        const std::uint64_t val = rng.next() | 1;
+        if (auto *h = dynamic_cast<SimHashMap *>(_index.get()))
+            h->insertSetup(setup_alloc, key, val);
+        else if (auto *b = dynamic_cast<SimBTree *>(_index.get()))
+            b->insertSetup(setup_alloc, key, val);
+        else if (auto *r = dynamic_cast<SimRBTree *>(_index.get()))
+            r->insertSetup(setup_alloc, key, val);
+        else if (auto *s = dynamic_cast<SimSkipList *>(_index.get()))
+            s->insertSetup(setup_alloc, rng, key, val);
+    }
+}
+
+/**
+ * Instruction-path cost of one index operation on the in-order core
+ * (compares, pointer chasing, bookkeeping — excludes the memory time
+ * charged per access). Trees and lists execute far more instructions
+ * per operation than a hash probe, which is what makes their
+ * transactions long enough to be exposed to LLC contention (paper
+ * Fig. 6: HashMap never overflows, the traversal structures do).
+ */
+static Tick
+opComputeCost(IndexKind kind)
+{
+    switch (kind) {
+      case IndexKind::HashMap: return ticksFromNs(300);
+      case IndexKind::BTree: return ticksFromNs(3500);
+      case IndexKind::RBTree: return ticksFromNs(2500);
+      case IndexKind::SkipList: return ticksFromNs(3000);
+    }
+    return ticksFromNs(500);
+}
+
+CoTask<void>
+PmdkBenchmark::worker(TxContext &ctx, unsigned idx, RunControl &rc)
+{
+    TxAllocator &alloc = _allocs.at(idx);
+    Rng rng(_params.seed * 2654435761ull + idx);
+    const std::uint64_t ops = _params.opsPerTx();
+    std::vector<std::uint64_t> keys(ops);
+    for (std::uint64_t tx = 0; tx < _params.txPerWorker; ++tx) {
+        // Keys are drawn before the transaction so that every retry
+        // re-executes the same logical batch.
+        for (auto &k : keys)
+            k = pickKey(idx, rng.chance(_params.updateFraction), rng);
+        const std::uint64_t pattern = rng.next() | 1;
+        co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+            for (std::uint64_t k : keys) {
+                const Addr blob = co_await writeValueBlob(
+                    t, alloc, _params.valueBytes, pattern);
+                co_await _index->insert(t, alloc, k, blob);
+                // Per-operation instruction work (request parsing,
+                // key hashing/compares) on the in-order core.
+                co_await t.compute(opComputeCost(_params.kind));
+            }
+        });
+        rc.addOps(ctx.domain(), ops);
+        // Small think time between transactions.
+        co_await ctx.compute(ticksFromNs(200));
+    }
+}
+
+} // namespace uhtm

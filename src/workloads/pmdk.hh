@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The PMDK-style micro-benchmarks of paper Table IV: insert/update
+ * operations with large value payloads against one of the four index
+ * structures, in either a persistent (NVM) or volatile (DRAM) flavour.
+ *
+ * Each committed operation writes a fresh value blob of
+ * PmdkParams::valueBytes and (re)inserts it under a random key, giving
+ * the transaction the footprint the paper sweeps (100KB .. 1.5MB).
+ */
+
+#ifndef UHTM_WORKLOADS_PMDK_HH
+#define UHTM_WORKLOADS_PMDK_HH
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "workloads/btree.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/skiplist.hh"
+
+namespace uhtm
+{
+
+/** Parameters of one PMDK micro-benchmark instance. */
+struct PmdkParams
+{
+    IndexKind kind = IndexKind::HashMap;
+    /** Where the index and values live (persistent vs volatile run). */
+    MemKind placement = MemKind::Nvm;
+
+    /**
+     * Transaction footprint knob: each transaction is a batch of
+     * insert/update operations whose value payloads total roughly this
+     * many bytes (paper Section V: footprints "controlled with the
+     * number of operations in a single batch").
+     */
+    std::uint64_t footprintBytes = KiB(100);
+    /** Value payload of a single operation. */
+    std::uint64_t valueBytes = KiB(1);
+
+    /** Committed transactions (batches) per worker thread. */
+    std::uint64_t txPerWorker = 4;
+    /** Key range. */
+    std::uint64_t keyspace = 1u << 20;
+    /** Keys pre-inserted functionally before the timed run. */
+    std::uint64_t prefillKeys = 1u << 16;
+    /**
+     * Partition the keyspace across worker threads (the usual storage
+     * benchmark setup): true conflicts then come from shared index
+     * internals (bucket collisions, node splits) rather than from
+     * colliding keys — which keeps the abort-rate decomposition
+     * dominated by the effects the paper studies.
+     */
+    bool partitionKeys = true;
+    /** Fraction of batch operations that update an existing key. */
+    double updateFraction = 0.97;
+    std::uint64_t seed = 1;
+
+    /** Operations per transaction implied by the footprint. */
+    std::uint64_t
+    opsPerTx() const
+    {
+        return std::max<std::uint64_t>(1, footprintBytes / valueBytes);
+    }
+};
+
+/** One benchmark instance: an index plus per-worker heaps. */
+class PmdkBenchmark
+{
+  public:
+    /**
+     * @param workers number of worker threads that will run worker().
+     */
+    PmdkBenchmark(HtmSystem &sys, RegionAllocator &regions,
+                  PmdkParams params, unsigned workers);
+
+    /** Worker body for thread @p idx; commits opsPerWorker operations. */
+    CoTask<void> worker(TxContext &ctx, unsigned idx, RunControl &rc);
+
+    SimIndex &index() { return *_index; }
+    const PmdkParams &params() const { return _params; }
+
+    /** Key chosen for (worker, update?) under the partitioning rules. */
+    std::uint64_t pickKey(unsigned worker, bool update, Rng &rng) const;
+
+  private:
+    std::uint64_t arenaBytesPerWorker() const;
+    std::uint64_t partitionSize() const;
+
+    PmdkParams _params;
+    unsigned _workers;
+    std::unique_ptr<SimIndex> _index;
+    std::vector<TxAllocator> _allocs;
+};
+
+/** Construct the right index structure for @p kind. */
+std::unique_ptr<SimIndex> makeSimIndex(IndexKind kind, HtmSystem &sys,
+                                       RegionAllocator &regions,
+                                       MemKind mem,
+                                       std::uint64_t hash_buckets = 4096);
+
+/** Functional prefill helper dispatching on the concrete type. */
+void prefillIndex(SimIndex &index, TxAllocator &alloc, Rng &rng,
+                  std::uint64_t keys, std::uint64_t keyspace);
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_PMDK_HH

@@ -1,0 +1,332 @@
+#include "workloads/rbtree.hh"
+
+namespace uhtm
+{
+
+SimRBTree::SimRBTree(HtmSystem &sys, RegionAllocator &regions, MemKind kind)
+    : _sys(sys)
+{
+    _rootPtr = regions.reserve(kind, kLineBytes);
+    sys.setupWrite64(_rootPtr, 0);
+}
+
+CoTask<void>
+SimRBTree::rotateLeft(TxContext &ctx, Addr x)
+{
+    const Addr y = co_await ctx.read64(x + kOffRight);
+    const Addr yl = co_await ctx.read64(y + kOffLeft);
+    co_await ctx.write64(x + kOffRight, yl);
+    if (yl != 0)
+        co_await ctx.write64(yl + kOffParent, x);
+    const Addr xp = co_await ctx.read64(x + kOffParent);
+    co_await ctx.write64(y + kOffParent, xp);
+    if (xp == 0) {
+        co_await ctx.write64(_rootPtr, y);
+    } else if (co_await ctx.read64(xp + kOffLeft) == x) {
+        co_await ctx.write64(xp + kOffLeft, y);
+    } else {
+        co_await ctx.write64(xp + kOffRight, y);
+    }
+    co_await ctx.write64(y + kOffLeft, x);
+    co_await ctx.write64(x + kOffParent, y);
+}
+
+CoTask<void>
+SimRBTree::rotateRight(TxContext &ctx, Addr x)
+{
+    const Addr y = co_await ctx.read64(x + kOffLeft);
+    const Addr yr = co_await ctx.read64(y + kOffRight);
+    co_await ctx.write64(x + kOffLeft, yr);
+    if (yr != 0)
+        co_await ctx.write64(yr + kOffParent, x);
+    const Addr xp = co_await ctx.read64(x + kOffParent);
+    co_await ctx.write64(y + kOffParent, xp);
+    if (xp == 0) {
+        co_await ctx.write64(_rootPtr, y);
+    } else if (co_await ctx.read64(xp + kOffRight) == x) {
+        co_await ctx.write64(xp + kOffRight, y);
+    } else {
+        co_await ctx.write64(xp + kOffLeft, y);
+    }
+    co_await ctx.write64(y + kOffRight, x);
+    co_await ctx.write64(x + kOffParent, y);
+}
+
+CoTask<void>
+SimRBTree::fixup(TxContext &ctx, Addr z)
+{
+    for (;;) {
+        const Addr p = co_await ctx.read64(z + kOffParent);
+        if (p == 0 || !co_await ctx.read64(p + kOffColor))
+            break;
+        const Addr g = co_await ctx.read64(p + kOffParent);
+        // A red parent is never the root, so the grandparent exists.
+        if (p == co_await ctx.read64(g + kOffLeft)) {
+            const Addr uncle = co_await ctx.read64(g + kOffRight);
+            if (uncle != 0 && co_await ctx.read64(uncle + kOffColor)) {
+                co_await ctx.write64(p + kOffColor, 0);
+                co_await ctx.write64(uncle + kOffColor, 0);
+                co_await ctx.write64(g + kOffColor, 1);
+                z = g;
+            } else {
+                if (z == co_await ctx.read64(p + kOffRight)) {
+                    z = p;
+                    co_await rotateLeft(ctx, z);
+                }
+                const Addr p2 = co_await ctx.read64(z + kOffParent);
+                const Addr g2 = co_await ctx.read64(p2 + kOffParent);
+                co_await ctx.write64(p2 + kOffColor, 0);
+                co_await ctx.write64(g2 + kOffColor, 1);
+                co_await rotateRight(ctx, g2);
+            }
+        } else {
+            const Addr uncle = co_await ctx.read64(g + kOffLeft);
+            if (uncle != 0 && co_await ctx.read64(uncle + kOffColor)) {
+                co_await ctx.write64(p + kOffColor, 0);
+                co_await ctx.write64(uncle + kOffColor, 0);
+                co_await ctx.write64(g + kOffColor, 1);
+                z = g;
+            } else {
+                if (z == co_await ctx.read64(p + kOffLeft)) {
+                    z = p;
+                    co_await rotateRight(ctx, z);
+                }
+                const Addr p2 = co_await ctx.read64(z + kOffParent);
+                const Addr g2 = co_await ctx.read64(p2 + kOffParent);
+                co_await ctx.write64(p2 + kOffColor, 0);
+                co_await ctx.write64(g2 + kOffColor, 1);
+                co_await rotateLeft(ctx, g2);
+            }
+        }
+    }
+    // Re-blacken the root only when it actually turned red: an
+    // unconditional write would make every insert conflict with every
+    // concurrent traversal of the (always-read) root line.
+    const Addr root = co_await ctx.read64(_rootPtr);
+    if (co_await ctx.read64(root + kOffColor))
+        co_await ctx.write64(root + kOffColor, 0);
+}
+
+CoTask<void>
+SimRBTree::insert(TxContext &ctx, TxAllocator &alloc, std::uint64_t key,
+                  std::uint64_t value)
+{
+    Addr parent = 0;
+    Addr cur = co_await ctx.read64(_rootPtr);
+    bool left = false;
+    while (cur != 0) {
+        const std::uint64_t k = co_await ctx.read64(cur + kOffKey);
+        if (k == key) {
+            co_await ctx.write64(cur + kOffValue, value);
+            co_return;
+        }
+        parent = cur;
+        left = key < k;
+        cur = co_await ctx.read64(cur + (left ? kOffLeft : kOffRight));
+    }
+    const Addr node = co_await alloc.alloc(ctx, kNodeBytes);
+    co_await ctx.write64(node + kOffKey, key);
+    co_await ctx.write64(node + kOffValue, value);
+    co_await ctx.write64(node + kOffLeft, 0);
+    co_await ctx.write64(node + kOffRight, 0);
+    co_await ctx.write64(node + kOffParent, parent);
+    co_await ctx.write64(node + kOffColor, 1);
+    if (parent == 0)
+        co_await ctx.write64(_rootPtr, node);
+    else
+        co_await ctx.write64(parent + (left ? kOffLeft : kOffRight), node);
+    co_await fixup(ctx, node);
+}
+
+CoTask<std::uint64_t>
+SimRBTree::lookup(TxContext &ctx, std::uint64_t key)
+{
+    Addr cur = co_await ctx.read64(_rootPtr);
+    while (cur != 0) {
+        const std::uint64_t k = co_await ctx.read64(cur + kOffKey);
+        if (k == key)
+            co_return co_await ctx.read64(cur + kOffValue);
+        cur = co_await ctx.read64(cur +
+                                  (key < k ? kOffLeft : kOffRight));
+    }
+    co_return 0;
+}
+
+void
+SimRBTree::insertSetup(TxAllocator &alloc, std::uint64_t key,
+                       std::uint64_t value)
+{
+    auto rd = [&](Addr a) { return _sys.setupRead64(a); };
+    auto wr = [&](Addr a, std::uint64_t v) { _sys.setupWrite64(a, v); };
+    auto rotate = [&](Addr x, bool to_left) {
+        const unsigned off_a = to_left ? kOffRight : kOffLeft;
+        const unsigned off_b = to_left ? kOffLeft : kOffRight;
+        const Addr y = rd(x + off_a);
+        const Addr yb = rd(y + off_b);
+        wr(x + off_a, yb);
+        if (yb != 0)
+            wr(yb + kOffParent, x);
+        const Addr xp = rd(x + kOffParent);
+        wr(y + kOffParent, xp);
+        if (xp == 0)
+            wr(_rootPtr, y);
+        else if (rd(xp + kOffLeft) == x)
+            wr(xp + kOffLeft, y);
+        else
+            wr(xp + kOffRight, y);
+        wr(y + off_b, x);
+        wr(x + kOffParent, y);
+    };
+
+    Addr parent = 0;
+    Addr cur = rd(_rootPtr);
+    bool left = false;
+    while (cur != 0) {
+        const std::uint64_t k = rd(cur + kOffKey);
+        if (k == key) {
+            wr(cur + kOffValue, value);
+            return;
+        }
+        parent = cur;
+        left = key < k;
+        cur = rd(cur + (left ? kOffLeft : kOffRight));
+    }
+    Addr z = alloc.allocSetup(_sys, kNodeBytes);
+    wr(z + kOffKey, key);
+    wr(z + kOffValue, value);
+    wr(z + kOffLeft, 0);
+    wr(z + kOffRight, 0);
+    wr(z + kOffParent, parent);
+    wr(z + kOffColor, 1);
+    if (parent == 0)
+        wr(_rootPtr, z);
+    else
+        wr(parent + (left ? kOffLeft : kOffRight), z);
+
+    for (;;) {
+        const Addr p = rd(z + kOffParent);
+        if (p == 0 || !rd(p + kOffColor))
+            break;
+        const Addr g = rd(p + kOffParent);
+        const bool p_is_left = p == rd(g + kOffLeft);
+        const Addr uncle = rd(g + (p_is_left ? kOffRight : kOffLeft));
+        if (uncle != 0 && rd(uncle + kOffColor)) {
+            wr(p + kOffColor, 0);
+            wr(uncle + kOffColor, 0);
+            wr(g + kOffColor, 1);
+            z = g;
+        } else {
+            if (z == rd(p + (p_is_left ? kOffRight : kOffLeft))) {
+                z = p;
+                rotate(z, p_is_left);
+            }
+            const Addr p2 = rd(z + kOffParent);
+            const Addr g2 = rd(p2 + kOffParent);
+            wr(p2 + kOffColor, 0);
+            wr(g2 + kOffColor, 1);
+            rotate(g2, !p_is_left);
+        }
+    }
+    const Addr final_root = rd(_rootPtr);
+    if (rd(final_root + kOffColor))
+        wr(final_root + kOffColor, 0);
+}
+
+std::uint64_t
+SimRBTree::lookupFunctional(std::uint64_t key) const
+{
+    Addr cur = _sys.setupRead64(_rootPtr);
+    while (cur != 0) {
+        const std::uint64_t k = _sys.setupRead64(cur + kOffKey);
+        if (k == key)
+            return _sys.setupRead64(cur + kOffValue);
+        cur = _sys.setupRead64(cur + (key < k ? kOffLeft : kOffRight));
+    }
+    return 0;
+}
+
+void
+SimRBTree::collectKeys(Addr node, std::vector<std::uint64_t> &out) const
+{
+    if (node == 0)
+        return;
+    collectKeys(_sys.setupRead64(node + kOffLeft), out);
+    out.push_back(_sys.setupRead64(node + kOffKey));
+    collectKeys(_sys.setupRead64(node + kOffRight), out);
+}
+
+std::vector<std::uint64_t>
+SimRBTree::keysFunctional() const
+{
+    std::vector<std::uint64_t> keys;
+    collectKeys(_sys.setupRead64(_rootPtr), keys);
+    return keys;
+}
+
+std::uint64_t
+SimRBTree::sizeFunctional() const
+{
+    return keysFunctional().size();
+}
+
+bool
+SimRBTree::validateSubtree(Addr node, Addr parent, std::uint64_t lo,
+                           std::uint64_t hi, bool has_lo, bool has_hi,
+                           int &black_height, std::string *why) const
+{
+    if (node == 0) {
+        black_height = 1;
+        return true;
+    }
+    if (_sys.setupRead64(node + kOffParent) != parent) {
+        if (why)
+            *why = "parent pointer mismatch";
+        return false;
+    }
+    const std::uint64_t key = _sys.setupRead64(node + kOffKey);
+    if ((has_lo && key <= lo) || (has_hi && key >= hi)) {
+        if (why)
+            *why = "BST order violated";
+        return false;
+    }
+    const bool red = _sys.setupRead64(node + kOffColor) != 0;
+    const Addr l = _sys.setupRead64(node + kOffLeft);
+    const Addr r = _sys.setupRead64(node + kOffRight);
+    if (red) {
+        if ((l != 0 && _sys.setupRead64(l + kOffColor)) ||
+            (r != 0 && _sys.setupRead64(r + kOffColor))) {
+            if (why)
+                *why = "red node with red child";
+            return false;
+        }
+    }
+    int bh_l = 0, bh_r = 0;
+    if (!validateSubtree(l, node, lo, key, has_lo, true, bh_l, why))
+        return false;
+    if (!validateSubtree(r, node, key, hi, true, has_hi, bh_r, why))
+        return false;
+    if (bh_l != bh_r) {
+        if (why)
+            *why = "black heights differ";
+        return false;
+    }
+    black_height = bh_l + (red ? 0 : 1);
+    return true;
+}
+
+bool
+SimRBTree::validateFunctional(std::string *why) const
+{
+    const Addr root = _sys.setupRead64(_rootPtr);
+    if (root == 0)
+        return true;
+    if (_sys.setupRead64(root + kOffColor) != 0) {
+        if (why)
+            *why = "root is red";
+        return false;
+    }
+    int bh = 0;
+    return validateSubtree(root, 0, 0, 0, false, false, bh, why);
+}
+
+} // namespace uhtm

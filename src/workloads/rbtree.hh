@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transactional red-black tree over simulated memory (the PMDK rbtree
+ * example rebuilt for the simulator).
+ *
+ * Classic CLRS insertion with recoloring and rotations; parent
+ * pointers make the fixup loop iterative. Every node spans two lines:
+ *   line 0: key@0, left@8, right@16, parent@24, color@32
+ *   line 1: value (separate so value updates do not conflict with
+ *           concurrent descents reading the pointers)
+ * Rotations write several nodes, which is what gives the RB-Tree
+ * benchmark its wider write set compared to the hash map.
+ */
+
+#ifndef UHTM_WORKLOADS_RBTREE_HH
+#define UHTM_WORKLOADS_RBTREE_HH
+
+#include "workloads/sim_index.hh"
+
+namespace uhtm
+{
+
+/** Transactional red-black tree. */
+class SimRBTree : public SimIndex
+{
+  public:
+    SimRBTree(HtmSystem &sys, RegionAllocator &regions, MemKind kind);
+
+    CoTask<void> insert(TxContext &ctx, TxAllocator &alloc,
+                        std::uint64_t key, std::uint64_t value) override;
+    CoTask<std::uint64_t> lookup(TxContext &ctx,
+                                 std::uint64_t key) override;
+
+    std::uint64_t lookupFunctional(std::uint64_t key) const override;
+    std::uint64_t sizeFunctional() const override;
+    std::vector<std::uint64_t> keysFunctional() const override;
+    bool validateFunctional(std::string *why) const override;
+
+    /** Functional insert for setup phases. */
+    void insertSetup(TxAllocator &alloc, std::uint64_t key,
+                     std::uint64_t value);
+
+  private:
+    // The value lives on its own (second) line: updating it must not
+    // write the line holding the child/parent pointers that concurrent
+    // descents read (line-granularity false sharing).
+    static constexpr unsigned kOffKey = 0;
+    static constexpr unsigned kOffLeft = 8;
+    static constexpr unsigned kOffRight = 16;
+    static constexpr unsigned kOffParent = 24;
+    static constexpr unsigned kOffColor = 32; // 0 = black, 1 = red
+    static constexpr unsigned kOffValue = 64;
+    static constexpr std::uint64_t kNodeBytes = 128;
+
+    CoTask<void> rotateLeft(TxContext &ctx, Addr x);
+    CoTask<void> rotateRight(TxContext &ctx, Addr x);
+    CoTask<void> fixup(TxContext &ctx, Addr z);
+
+    bool validateSubtree(Addr node, Addr parent, std::uint64_t lo,
+                         std::uint64_t hi, bool has_lo, bool has_hi,
+                         int &black_height, std::string *why) const;
+    void collectKeys(Addr node, std::vector<std::uint64_t> &out) const;
+
+    HtmSystem &_sys;
+    Addr _rootPtr = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_RBTREE_HH

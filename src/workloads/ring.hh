@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Single-producer single-consumer ring buffer in simulated DRAM.
+ *
+ * Used for the out-of-transaction communication channels of the hybrid
+ * key-value stores: the Dual KV store's cross-referencing log between
+ * foreground and background threads, and the Echo KV store's client →
+ * master request queues. Indices and slots live on separate lines, and
+ * all accesses are non-transactional (issued outside any transaction),
+ * exactly as the paper describes ("the communication between foreground
+ * and background threads are out-of-transactions").
+ */
+
+#ifndef UHTM_WORKLOADS_RING_HH
+#define UHTM_WORKLOADS_RING_HH
+
+#include "htm/tx_context.hh"
+#include "workloads/region_alloc.hh"
+
+namespace uhtm
+{
+
+/** SPSC ring of (key, payload) entries in simulated memory. */
+class SimRing
+{
+  public:
+    /** @param capacity number of entries (power of two recommended). */
+    SimRing(HtmSystem &sys, RegionAllocator &regions,
+            std::uint64_t capacity = 64)
+        : _capacity(capacity)
+    {
+        _prod = regions.reserve(MemKind::Dram, kLineBytes);
+        _cons = regions.reserve(MemKind::Dram, kLineBytes);
+        _slots = regions.reserve(MemKind::Dram, capacity * kLineBytes);
+        sys.setupWrite64(_prod, 0);
+        sys.setupWrite64(_cons, 0);
+    }
+
+    /** Producer: true if an entry can be pushed right now. */
+    CoTask<bool>
+    canPush(TxContext &ctx)
+    {
+        const std::uint64_t p = co_await ctx.read64(_prod);
+        const std::uint64_t c = co_await ctx.read64(_cons);
+        co_return p - c < _capacity;
+    }
+
+    /** Producer: push (key, payload); caller checked canPush(). */
+    CoTask<void>
+    push(TxContext &ctx, std::uint64_t key, std::uint64_t payload)
+    {
+        const std::uint64_t p = co_await ctx.read64(_prod);
+        const Addr slot = slotAddr(p);
+        co_await ctx.write64(slot, key);
+        co_await ctx.write64(slot + 8, payload);
+        co_await ctx.write64(_prod, p + 1);
+    }
+
+    /** Consumer: true if an entry is available. */
+    CoTask<bool>
+    canPop(TxContext &ctx)
+    {
+        const std::uint64_t p = co_await ctx.read64(_prod);
+        const std::uint64_t c = co_await ctx.read64(_cons);
+        co_return c < p;
+    }
+
+    /** Consumer: pop the next entry; caller checked canPop(). */
+    CoTask<std::pair<std::uint64_t, std::uint64_t>>
+    pop(TxContext &ctx)
+    {
+        const std::uint64_t c = co_await ctx.read64(_cons);
+        const Addr slot = slotAddr(c);
+        const std::uint64_t key = co_await ctx.read64(slot);
+        const std::uint64_t payload = co_await ctx.read64(slot + 8);
+        co_await ctx.write64(_cons, c + 1);
+        co_return std::pair{key, payload};
+    }
+
+    /** Functional occupancy (tests). */
+    std::uint64_t
+    sizeFunctional(const HtmSystem &sys) const
+    {
+        return sys.setupRead64(_prod) - sys.setupRead64(_cons);
+    }
+
+  private:
+    Addr slotAddr(std::uint64_t idx) const
+    {
+        return _slots + (idx % _capacity) * kLineBytes;
+    }
+
+    std::uint64_t _capacity;
+    Addr _prod = 0;
+    Addr _cons = 0;
+    Addr _slots = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_RING_HH

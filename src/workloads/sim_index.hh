@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Common interface of the transactional index structures (the PMDK
+ * example data structures of paper Table IV, rebuilt from scratch over
+ * simulated memory).
+ *
+ * All structure state — nodes, pointers, bucket arrays — lives in the
+ * simulated address space and is accessed through TxContext coroutine
+ * operations, so every traversal and mutation contributes to the
+ * transaction's read/write sets, its cache footprint and its conflicts,
+ * and every mutation rolls back on abort.
+ *
+ * Each structure also exposes functional (host-side, untimed) walkers
+ * over the architectural state for verification in tests.
+ */
+
+#ifndef UHTM_WORKLOADS_SIM_INDEX_HH
+#define UHTM_WORKLOADS_SIM_INDEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "htm/tx_context.hh"
+#include "workloads/tx_alloc.hh"
+
+namespace uhtm
+{
+
+/** Which PMDK-style structure a benchmark uses. */
+enum class IndexKind
+{
+    HashMap,
+    BTree,
+    RBTree,
+    SkipList,
+};
+
+inline const char *
+indexKindName(IndexKind k)
+{
+    switch (k) {
+      case IndexKind::HashMap: return "HashMap";
+      case IndexKind::BTree: return "B-Tree";
+      case IndexKind::RBTree: return "RB-Tree";
+      case IndexKind::SkipList: return "SkipList";
+    }
+    return "?";
+}
+
+/** Abstract transactional key→value index over simulated memory. */
+class SimIndex
+{
+  public:
+    virtual ~SimIndex() = default;
+
+    /** Insert @p key → @p value, or overwrite if present. */
+    virtual CoTask<void> insert(TxContext &ctx, TxAllocator &alloc,
+                                std::uint64_t key, std::uint64_t value) = 0;
+
+    /** Look up @p key. @return the value, or 0 if absent. */
+    virtual CoTask<std::uint64_t> lookup(TxContext &ctx,
+                                         std::uint64_t key) = 0;
+
+    /** Functional lookup over architectural state (tests). */
+    virtual std::uint64_t lookupFunctional(std::uint64_t key) const = 0;
+
+    /** Functional count of stored keys. */
+    virtual std::uint64_t sizeFunctional() const = 0;
+
+    /** All keys in iteration order (tests). */
+    virtual std::vector<std::uint64_t> keysFunctional() const = 0;
+
+    /**
+     * Check structural invariants over architectural state.
+     * @param why receives a diagnostic on failure (may be null).
+     */
+    virtual bool validateFunctional(std::string *why) const = 0;
+};
+
+/** Mixing hash used by hash-based structures and workloads. */
+inline std::uint64_t
+mixKey(std::uint64_t key)
+{
+    std::uint64_t s = key;
+    return splitmix64(s);
+}
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_SIM_INDEX_HH

@@ -1,0 +1,213 @@
+#include "workloads/skiplist.hh"
+
+#include <unordered_set>
+
+namespace uhtm
+{
+
+SimSkipList::SimSkipList(HtmSystem &sys, RegionAllocator &regions,
+                         MemKind kind)
+    : _sys(sys)
+{
+    _head = regions.reserve(kind, nodeBytes(kMaxLevel) + kLineBytes);
+    sys.setupWrite64(_head + kOffKey, 0);
+    sys.setupWrite64(_head + kOffHeight, kMaxLevel);
+    for (unsigned i = 0; i < kMaxLevel; ++i)
+        sys.setupWrite64(nextAddr(_head, i), 0);
+}
+
+unsigned
+SimSkipList::randomHeight(Rng &rng)
+{
+    // p = 1/4 towers (as in LevelDB and other production skip lists):
+    // high towers sit on every traversal's descent path, so a lower
+    // branching probability keeps concurrent inserts from constantly
+    // writing nodes that every other transaction reads.
+    unsigned h = 1;
+    while (h < kMaxLevel && rng.chance(0.25))
+        ++h;
+    return h;
+}
+
+CoTask<void>
+SimSkipList::insert(TxContext &ctx, TxAllocator &alloc, std::uint64_t key,
+                    std::uint64_t value)
+{
+    Addr update[kMaxLevel];
+    Addr cur = _head;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+        for (;;) {
+            const Addr next = co_await ctx.read64(nextAddr(cur, level));
+            if (next == 0)
+                break;
+            const std::uint64_t k = co_await ctx.read64(next + kOffKey);
+            if (k >= key)
+                break;
+            cur = next;
+        }
+        update[level] = cur;
+    }
+    const Addr candidate = co_await ctx.read64(nextAddr(cur, 0));
+    if (candidate != 0) {
+        const std::uint64_t k = co_await ctx.read64(candidate + kOffKey);
+        if (k == key) {
+            const unsigned h = static_cast<unsigned>(
+                co_await ctx.read64(candidate + kOffHeight));
+            co_await ctx.write64(candidate + valueOff(h), value);
+            co_return;
+        }
+    }
+    const unsigned height = randomHeight(ctx.rng());
+    const Addr node = co_await alloc.alloc(ctx, nodeBytes(height));
+    co_await ctx.write64(node + kOffKey, key);
+    co_await ctx.write64(node + kOffHeight, height);
+    co_await ctx.write64(node + valueOff(height), value);
+    for (unsigned i = 0; i < height; ++i) {
+        const Addr next = co_await ctx.read64(nextAddr(update[i], i));
+        co_await ctx.write64(nextAddr(node, i), next);
+        co_await ctx.write64(nextAddr(update[i], i), node);
+    }
+}
+
+CoTask<std::uint64_t>
+SimSkipList::lookup(TxContext &ctx, std::uint64_t key)
+{
+    Addr cur = _head;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+        for (;;) {
+            const Addr next = co_await ctx.read64(nextAddr(cur, level));
+            if (next == 0)
+                break;
+            const std::uint64_t k = co_await ctx.read64(next + kOffKey);
+            if (k > key)
+                break;
+            if (k == key) {
+                const unsigned h = static_cast<unsigned>(
+                    co_await ctx.read64(next + kOffHeight));
+                co_return co_await ctx.read64(next + valueOff(h));
+            }
+            cur = next;
+        }
+    }
+    co_return 0;
+}
+
+void
+SimSkipList::insertSetup(TxAllocator &alloc, Rng &rng, std::uint64_t key,
+                         std::uint64_t value)
+{
+    Addr update[kMaxLevel];
+    Addr cur = _head;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+        for (;;) {
+            const Addr next = _sys.setupRead64(nextAddr(cur, level));
+            if (next == 0 || _sys.setupRead64(next + kOffKey) >= key)
+                break;
+            cur = next;
+        }
+        update[level] = cur;
+    }
+    const Addr candidate = _sys.setupRead64(nextAddr(cur, 0));
+    if (candidate != 0 && _sys.setupRead64(candidate + kOffKey) == key) {
+        const unsigned h = static_cast<unsigned>(
+            _sys.setupRead64(candidate + kOffHeight));
+        _sys.setupWrite64(candidate + valueOff(h), value);
+        return;
+    }
+    const unsigned height = randomHeight(rng);
+    const Addr node = alloc.allocSetup(_sys, nodeBytes(height));
+    _sys.setupWrite64(node + kOffKey, key);
+    _sys.setupWrite64(node + kOffHeight, height);
+    _sys.setupWrite64(node + valueOff(height), value);
+    for (unsigned i = 0; i < height; ++i) {
+        _sys.setupWrite64(nextAddr(node, i),
+                          _sys.setupRead64(nextAddr(update[i], i)));
+        _sys.setupWrite64(nextAddr(update[i], i), node);
+    }
+}
+
+std::uint64_t
+SimSkipList::lookupFunctional(std::uint64_t key) const
+{
+    Addr cur = _sys.setupRead64(nextAddr(_head, 0));
+    while (cur != 0) {
+        const std::uint64_t k = _sys.setupRead64(cur + kOffKey);
+        if (k == key) {
+            const unsigned h = static_cast<unsigned>(
+                _sys.setupRead64(cur + kOffHeight));
+            return _sys.setupRead64(cur + valueOff(h));
+        }
+        if (k > key)
+            return 0;
+        cur = _sys.setupRead64(nextAddr(cur, 0));
+    }
+    return 0;
+}
+
+std::vector<std::uint64_t>
+SimSkipList::keysFunctional() const
+{
+    std::vector<std::uint64_t> keys;
+    Addr cur = _sys.setupRead64(nextAddr(_head, 0));
+    while (cur != 0) {
+        keys.push_back(_sys.setupRead64(cur + kOffKey));
+        cur = _sys.setupRead64(nextAddr(cur, 0));
+    }
+    return keys;
+}
+
+std::uint64_t
+SimSkipList::sizeFunctional() const
+{
+    return keysFunctional().size();
+}
+
+bool
+SimSkipList::validateFunctional(std::string *why) const
+{
+    // Level 0 must be strictly sorted.
+    auto keys = keysFunctional();
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        if (keys[i] <= keys[i - 1]) {
+            if (why)
+                *why = "level 0 not sorted";
+            return false;
+        }
+    }
+    // Every higher level must be a sorted subsequence of level 0, and
+    // every node must appear at all levels below its height.
+    std::unordered_set<Addr> level0;
+    for (Addr cur = _sys.setupRead64(nextAddr(_head, 0)); cur != 0;
+         cur = _sys.setupRead64(nextAddr(cur, 0)))
+        level0.insert(cur);
+    for (unsigned level = 1; level < kMaxLevel; ++level) {
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (Addr cur = _sys.setupRead64(nextAddr(_head, level)); cur != 0;
+             cur = _sys.setupRead64(nextAddr(cur, level))) {
+            if (!level0.count(cur)) {
+                if (why)
+                    *why = "node on level " + std::to_string(level) +
+                           " missing from level 0";
+                return false;
+            }
+            if (_sys.setupRead64(cur + kOffHeight) <= level) {
+                if (why)
+                    *why = "node above its height";
+                return false;
+            }
+            const std::uint64_t k = _sys.setupRead64(cur + kOffKey);
+            if (!first && k <= prev) {
+                if (why)
+                    *why = "level " + std::to_string(level) +
+                           " not sorted";
+                return false;
+            }
+            prev = k;
+            first = false;
+        }
+    }
+    return true;
+}
+
+} // namespace uhtm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Transactional skip list over simulated memory (the PMDK skiplist
+ * example rebuilt for the simulator).
+ *
+ * Towers up to kMaxLevel high with geometric (p = 1/2) heights. The
+ * long pointer chains traversed per operation are what make SkipList
+ * the most signature-hostile of the paper's micro-benchmarks: its read
+ * set is wide and spread out, so overflowed traversals populate the
+ * bloom filters quickly (Section VI-A).
+ *
+ * Node layout (line-aligned):
+ *   key@0, value@8, height@16, next[i]@24+8i
+ */
+
+#ifndef UHTM_WORKLOADS_SKIPLIST_HH
+#define UHTM_WORKLOADS_SKIPLIST_HH
+
+#include "workloads/sim_index.hh"
+
+namespace uhtm
+{
+
+/** Transactional skip list. */
+class SimSkipList : public SimIndex
+{
+  public:
+    static constexpr unsigned kMaxLevel = 12;
+
+    SimSkipList(HtmSystem &sys, RegionAllocator &regions, MemKind kind);
+
+    CoTask<void> insert(TxContext &ctx, TxAllocator &alloc,
+                        std::uint64_t key, std::uint64_t value) override;
+    CoTask<std::uint64_t> lookup(TxContext &ctx,
+                                 std::uint64_t key) override;
+
+    std::uint64_t lookupFunctional(std::uint64_t key) const override;
+    std::uint64_t sizeFunctional() const override;
+    std::vector<std::uint64_t> keysFunctional() const override;
+    bool validateFunctional(std::string *why) const override;
+
+    /** Functional insert for setup phases. */
+    void insertSetup(TxAllocator &alloc, Rng &rng, std::uint64_t key,
+                     std::uint64_t value);
+
+  private:
+    // The value lives on its own line after the tower: a value update
+    // must not write the line holding the links that every passing
+    // traversal reads (line-granularity false sharing would make each
+    // update of a tall node conflict with all concurrent descents).
+    static constexpr unsigned kOffKey = 0;
+    static constexpr unsigned kOffHeight = 8;
+    static constexpr unsigned kOffNext = 16;
+
+    /** Offset of the value line for a tower of @p height. */
+    static std::uint64_t
+    valueOff(unsigned height)
+    {
+        const std::uint64_t tower = kOffNext + 8ull * height;
+        return (tower + kLineBytes - 1) & ~std::uint64_t(kLineBytes - 1);
+    }
+
+    static std::uint64_t
+    nodeBytes(unsigned height)
+    {
+        return valueOff(height) + kLineBytes;
+    }
+
+    Addr nextAddr(Addr node, unsigned level) const
+    {
+        return node + kOffNext + 8 * level;
+    }
+
+    static unsigned randomHeight(Rng &rng);
+
+    HtmSystem &_sys;
+    Addr _head = 0; ///< sentinel tower of height kMaxLevel
+};
+
+} // namespace uhtm
+
+#endif // UHTM_WORKLOADS_SKIPLIST_HH

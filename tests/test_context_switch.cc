@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Context-switch tests (paper Section IV-E): transactions survive
+ * preemption and migration because all conflict metadata is keyed by
+ * transaction id; aborts of suspended transactions are delivered via
+ * the TSS abortion flag at resume time; log expansion traps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "htm/tx_context.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+constexpr Addr kLine = MemLayout::kDramBase + 0x20000;
+constexpr Addr kNvmLine = MemLayout::kNvmBase + 0x20000;
+
+TEST(ContextSwitch, TransactionSurvivesMigrationAndCommits)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+
+    TxDesc *tx = sys.beginTx(0, dom, 0);
+    sys.issueAccess(0, dom, kLine, true, false, 42);
+    sys.issueAccess(0, dom, kNvmLine, true, false, 43);
+    eq.run();
+
+    const TxId id = sys.suspendTx(0);
+    ASSERT_EQ(id, tx->id);
+    EXPECT_TRUE(sys.isSuspended(id));
+    EXPECT_EQ(sys.currentTx(0), nullptr);
+    EXPECT_EQ(sys.stats().contextSwitches, 1u);
+    // The private cache was flushed on the switch.
+    EXPECT_EQ(sys.l1(0).peek(lineAlign(kLine)), nullptr);
+
+    // Resume on a DIFFERENT core and finish the transaction there.
+    sys.resumeTx(2, id);
+    EXPECT_EQ(sys.currentTx(2), tx);
+    sys.issueAccess(2, dom, kLine + kLineBytes, true, false, 44);
+    eq.run();
+    const Tick done = sys.issueCommit(2);
+    eq.scheduleAt(done, [] {}); // advance time to commit completion
+    eq.run();
+
+    EXPECT_EQ(sys.setupRead64(kLine), 42u);
+    EXPECT_EQ(sys.setupRead64(kNvmLine), 43u);
+    EXPECT_EQ(sys.setupRead64(kLine + kLineBytes), 44u);
+    BackingStore recovered = sys.recoverAfterCrash();
+    EXPECT_EQ(recovered.read64(kNvmLine), 43u);
+}
+
+TEST(ContextSwitch, SuspendedTxIsStillConflictDetectable)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+
+    TxDesc *victim = sys.beginTx(0, dom, 0);
+    sys.issueAccess(0, dom, kLine, true, false, 1);
+    eq.run();
+    const TxId id = sys.suspendTx(0);
+
+    // Another transaction writes the suspended tx's line: the conflict
+    // must be detected against the directory marks (keyed by tx id,
+    // not core id) and the abortion flag set in the TSS.
+    sys.beginTx(1, dom, 0);
+    sys.issueAccess(1, dom, kLine, true, false, 2);
+    eq.run();
+    EXPECT_TRUE(victim->abortRequested)
+        << "suspended transactions must remain conflict-detectable";
+
+    // "When the suspended thread resumes, it restarts by checking the
+    // abortion flag in the TSS."
+    sys.resumeTx(0, id);
+    EXPECT_TRUE(sys.abortPending(0));
+    sys.issueAbort(0);
+    eq.run();
+    EXPECT_EQ(sys.stats().totalAborts(), 1u);
+}
+
+TEST(ContextSwitch, SuspendWithoutTransactionIsNoOp)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    sys.createDomain("p0");
+    EXPECT_EQ(sys.suspendTx(0), kNoTx);
+    EXPECT_EQ(sys.stats().contextSwitches, 0u);
+}
+
+TEST(LogExpansion, FullLogTrapsAndGrows)
+{
+    EventQueue eq;
+    MachineConfig cfg = MachineConfig::tiny();
+    cfg.logAreaBytes = KiB(4); // ~51 undo records
+    HtmSystem sys(eq, cfg, HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+
+    TxDesc *tx = sys.beginTx(0, dom, 0);
+    // Overflow far more DRAM lines than the log area can hold.
+    const std::uint64_t lines =
+        sys.llc().capacityLines() + 4 * sys.llc().ways() + 200;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        sys.issueAccess(0, dom, kLine + i * kLineBytes, true, true, 7);
+        eq.run();
+    }
+    EXPECT_FALSE(tx->abortRequested);
+    EXPECT_GT(sys.stats().logExpansions, 0u);
+    EXPECT_GT(sys.undoLog().capacity(), KiB(4));
+    sys.issueCommit(0);
+    eq.run();
+    EXPECT_EQ(sys.stats().commits, 1u);
+}
+
+} // namespace
+} // namespace uhtm

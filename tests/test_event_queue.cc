@@ -1,0 +1,99 @@
+/**
+ * @file
+ * EventQueue unit tests: ordering, determinism, time advance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, SameTickRunsInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.schedule(10, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, ScheduleInPastClampsToNow)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 100u);
+    bool ran = false;
+    eq.scheduleAt(50, [&] { ran = true; });
+    eq.step();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    eq.schedule(300, [&] { ++fired; });
+    eq.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunWhileHonoursPredicate)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(10 * (i + 1), [&] { ++fired; });
+    eq.runWhile([&] { return fired < 4; });
+    EXPECT_EQ(fired, 4);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment-harness tests: the canned consolidated setups used by the
+ * benchmark binaries run end-to-end at miniature scale under every
+ * system preset, and simulations are bit-for-bit deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+PmdkParams
+miniParams(IndexKind kind)
+{
+    PmdkParams p;
+    p.kind = kind;
+    p.placement = MemKind::Nvm;
+    p.footprintBytes = KiB(8);
+    p.valueBytes = KiB(1);
+    p.txPerWorker = 2;
+    p.keyspace = 1 << 14;
+    p.prefillKeys = 1 << 10;
+    p.seed = 9;
+    return p;
+}
+
+class AllSystems : public ::testing::TestWithParam<int>
+{
+  protected:
+    HtmPolicy
+    policy() const
+    {
+        switch (GetParam()) {
+          case 0: return HtmPolicy::llcBounded();
+          case 1: return HtmPolicy::signatureOnly(512);
+          case 2: return HtmPolicy::uhtmSig(1024);
+          case 3: return HtmPolicy::uhtmOpt(1024);
+          default: return HtmPolicy::ideal();
+        }
+    }
+};
+
+TEST_P(AllSystems, ConsolidatedPmdkRunCompletes)
+{
+    MachineConfig machine;
+    machine.cores = 10; // 2 benchmarks x 4 workers + 2 hogs
+    std::vector<PmdkParams> benches = {miniParams(IndexKind::HashMap),
+                                       miniParams(IndexKind::BTree)};
+    experiments::ConsolidationOpts opts;
+    opts.workersPerBench = 4;
+    opts.hogs = 2;
+    opts.hogBytes = MiB(4);
+    const RunMetrics m = experiments::runPmdkConsolidated(
+        machine, policy(), benches, opts);
+    // All assigned work commits under every system.
+    EXPECT_EQ(m.committedOps, 2u * 4u * 2u * 8u);
+    EXPECT_GT(m.simSeconds, 0.0);
+    EXPECT_GE(m.htm.commits, 2u * 4u * 2u);
+    EXPECT_EQ(m.domainOps.size(), 2u);
+}
+
+std::string
+presetName(const ::testing::TestParamInfo<int> &info)
+{
+    static const char *names[] = {"Bounded", "SigOnly", "UhtmSig",
+                                  "UhtmOpt", "Ideal"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, AllSystems, ::testing::Range(0, 5),
+                         presetName);
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns)
+{
+    auto once = [] {
+        MachineConfig machine;
+        machine.cores = 6;
+        std::vector<PmdkParams> benches = {miniParams(IndexKind::RBTree)};
+        experiments::ConsolidationOpts opts;
+        opts.workersPerBench = 4;
+        opts.hogs = 2;
+        opts.hogBytes = MiB(2);
+        opts.seed = 31;
+        return experiments::runPmdkConsolidated(
+            machine, HtmPolicy::uhtmOpt(1024), benches, opts);
+    };
+    const RunMetrics a = once();
+    const RunMetrics b = once();
+    EXPECT_EQ(a.endTick, b.endTick)
+        << "simulation must be bit-for-bit reproducible";
+    EXPECT_EQ(a.committedTxs, b.committedTxs);
+    EXPECT_EQ(a.htm.totalAborts(), b.htm.totalAborts());
+    EXPECT_EQ(a.htm.sigChecks, b.htm.sigChecks);
+}
+
+TEST(Determinism, DifferentSeedsDiverge)
+{
+    auto once = [](std::uint64_t seed) {
+        MachineConfig machine;
+        machine.cores = 4;
+        auto p = miniParams(IndexKind::SkipList);
+        p.seed = seed;
+        experiments::ConsolidationOpts opts;
+        opts.workersPerBench = 4;
+        opts.hogs = 0;
+        opts.seed = seed;
+        return experiments::runPmdkConsolidated(
+            machine, HtmPolicy::uhtmOpt(1024), {p}, opts);
+    };
+    EXPECT_NE(once(1).endTick, once(2).endTick);
+}
+
+} // namespace
+} // namespace uhtm

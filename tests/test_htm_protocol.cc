@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Protocol-detail tests: commit-protocol timing structure (durability
+ * waits, overflow-list walks, commit marks), abort-protocol costs,
+ * DRAM-cache interaction at commit, stale-metadata pruning, and the
+ * write-buffer read-your-own-writes semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "htm/tx_context.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+struct Fixture
+{
+    EventQueue eq;
+    HtmSystem sys{eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048)};
+    DomainId dom = sys.createDomain("p0");
+
+    void
+    access(CoreId core, Addr a, bool write, std::uint64_t v = 1)
+    {
+        sys.issueAccess(core, dom, a, write, false, v);
+        eq.run();
+    }
+};
+
+constexpr Addr kDram = MemLayout::kDramBase + 0x30000;
+constexpr Addr kNvm = MemLayout::kNvmBase + 0x30000;
+
+TEST(Protocol, ReadYourOwnWrites)
+{
+    Fixture f;
+    f.sys.setupWrite64(kDram, 5);
+    f.sys.beginTx(0, f.dom, 0);
+    auto r1 = f.sys.issueAccess(0, f.dom, kDram, false, false, 0);
+    f.eq.run();
+    EXPECT_EQ(r1.data, 5u);
+    f.access(0, kDram, true, 42);
+    auto r2 = f.sys.issueAccess(0, f.dom, kDram, false, false, 0);
+    f.eq.run();
+    EXPECT_EQ(r2.data, 42u) << "reads must see the tx's own writes";
+    EXPECT_EQ(f.sys.setupRead64(kDram), 5u)
+        << "architectural state unchanged until commit";
+    f.sys.issueCommit(0);
+    f.eq.run();
+    EXPECT_EQ(f.sys.setupRead64(kDram), 42u);
+}
+
+TEST(Protocol, IsolationAcrossCores)
+{
+    Fixture f;
+    f.sys.setupWrite64(kDram, 7);
+    f.sys.beginTx(0, f.dom, 0);
+    f.access(0, kDram, true, 99);
+    // A tx on another DOMAIN (no conflict possible) reading a
+    // different line sees no speculative state anywhere.
+    const DomainId other = f.sys.createDomain("p1");
+    auto r = f.sys.issueAccess(1, other, kDram + 0x1000, false, false, 0);
+    f.eq.run();
+    EXPECT_EQ(r.data, 0u);
+    EXPECT_EQ(f.sys.setupRead64(kDram), 7u);
+}
+
+TEST(Protocol, DurableCommitWaitsForLogDurability)
+{
+    Fixture f;
+    f.sys.beginTx(0, f.dom, 0);
+    f.access(0, kNvm, true, 1);
+    TxDesc *tx = f.sys.currentTx(0);
+    const Tick horizon = tx->logsDurableAt;
+    EXPECT_GT(horizon, 0u) << "the redo-log write must be in flight";
+    const Tick done = f.sys.issueCommit(0);
+    EXPECT_GT(done, horizon)
+        << "commit completes only after all redo records are durable";
+}
+
+TEST(Protocol, VolatileCommitSkipsNvmWork)
+{
+    Fixture f;
+    f.sys.beginTx(0, f.dom, 0);
+    f.access(0, kDram, true, 1);
+    const auto nvm_writes_before = f.sys.nvmCtrl().stats().writes;
+    f.sys.issueCommit(0);
+    f.eq.run();
+    EXPECT_EQ(f.sys.nvmCtrl().stats().writes, nvm_writes_before)
+        << "a DRAM-only transaction must not touch the NVM channel";
+    EXPECT_EQ(f.sys.redoLog().entryCount(1), 0u);
+}
+
+TEST(Protocol, CommitPublishesNvmWriteSetToDramCache)
+{
+    Fixture f;
+    f.sys.beginTx(0, f.dom, 0);
+    TxDesc *tx = f.sys.currentTx(0);
+    f.access(0, kNvm, true, 0xbeef);
+    const TxId id = tx->id;
+    f.sys.issueCommit(0);
+    f.eq.run();
+    // The committed line sits in the DRAM cache as committed-dirty and
+    // reaches the durable in-place image on eviction/flush.
+    DramCacheEntry *e = f.sys.dramCache().peek(lineAlign(kNvm));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->tx, kNoTx);
+    EXPECT_TRUE(e->dirty);
+    f.sys.dramCache().flushAll();
+    f.eq.run();
+    EXPECT_EQ(f.sys.durableNvm().read64(kNvm), 0xbeefu);
+    (void)id;
+}
+
+TEST(Protocol, AbortCostScalesWithUndoRecords)
+{
+    Fixture f;
+    // Overflow many DRAM lines, then measure the abort duration.
+    f.sys.beginTx(0, f.dom, 0);
+    const std::uint64_t lines =
+        f.sys.llc().capacityLines() * 3 / 2;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        f.access(0, kDram + i * kLineBytes, true, 7);
+    TxDesc *tx = f.sys.currentTx(0);
+    ASSERT_GT(tx->undoRecords, 10u);
+    const std::uint64_t records = tx->undoRecords;
+    f.sys.requestAbortForTest(tx);
+    const Tick t0 = f.eq.now();
+    const Tick done = f.sys.issueAbort(0);
+    // Restore reads + writes per record through the DRAM controller.
+    EXPECT_GT(done - t0, records * f.sys.machine().dramSlot)
+        << "abort must pay for the undo restore";
+    EXPECT_EQ(f.sys.undoLog().entryCount(tx->id), 0u);
+}
+
+TEST(Protocol, StaleDirectoryMarksArePrunedNotTrusted)
+{
+    Fixture f;
+    f.sys.beginTx(0, f.dom, 0);
+    f.access(0, kDram, true, 3);
+    f.sys.issueCommit(0);
+    f.eq.run();
+    // The LLC line may retain the finished tx's mark; a new conflicting
+    // access must prune it rather than abort anyone.
+    f.sys.beginTx(1, f.dom, 0);
+    f.access(1, kDram, true, 4);
+    TxDesc *tx2 = f.sys.currentTx(1);
+    EXPECT_FALSE(tx2->abortRequested)
+        << "marks of finished transactions must be ignored";
+    f.sys.issueCommit(1);
+    f.eq.run();
+    EXPECT_EQ(f.sys.setupRead64(kDram), 4u);
+}
+
+TEST(Protocol, FootprintAccountingCountsUnionOfSets)
+{
+    Fixture f;
+    f.sys.beginTx(0, f.dom, 0);
+    f.access(0, kDram, false);                  // read-only line
+    f.access(0, kDram + kLineBytes, true, 1);   // write-only line
+    f.access(0, kDram + kLineBytes, false);     // read a written line
+    TxDesc *tx = f.sys.currentTx(0);
+    EXPECT_EQ(tx->footprintBytes(), 2 * kLineBytes)
+        << "read+write of one line counts once";
+    EXPECT_EQ(tx->reads, 2u);
+    EXPECT_EQ(tx->writes, 1u);
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end tests per HTM policy: the serialized slow path, functional
+ * equivalence of the undo and redo DRAM logging modes, the
+ * Signature-Only baseline, and lock-based domain preemption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "workloads/hashmap.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+/**
+ * Run the same contended multi-worker hashmap workload under @p policy
+ * and return the final (key -> value) state.
+ */
+std::map<std::uint64_t, std::uint64_t>
+runWorkload(const HtmPolicy &policy, HtmStats *stats_out = nullptr)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), policy);
+    RegionAllocator regions;
+    const DomainId dom = sys.createDomain("p0");
+    SimHashMap map(sys, regions, MemKind::Dram, 64);
+
+    constexpr unsigned kWorkers = 4;
+    std::vector<std::unique_ptr<TxContext>> ctxs;
+    std::vector<std::unique_ptr<TxAllocator>> allocs;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        ctxs.push_back(std::make_unique<TxContext>(sys, w, dom, 51 + w));
+        allocs.push_back(std::make_unique<TxAllocator>(
+            sys, regions, MemKind::Dram, MiB(32)));
+    }
+
+    auto worker = [&](TxContext &c, TxAllocator &al,
+                      std::uint64_t base) -> Task {
+        Rng r(base * 131);
+        for (int i = 0; i < 30; ++i) {
+            // Overlapping keys force conflicts; the 24KB batch
+            // footprint x4 workers exceeds the tiny 64KB LLC, so the
+            // bounded policy sees capacity overflows.
+            const std::uint64_t key = 1 + r.below(48);
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                Addr blob = 0;
+                for (int j = 0; j < 24; ++j)
+                    blob = co_await writeValueBlob(t, al, KiB(1), base);
+                co_await map.insert(t, al, key, blob);
+            });
+        }
+    };
+    std::vector<Task> tasks;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        tasks.push_back(worker(*ctxs[w], *allocs[w], w + 1));
+    for (auto &t : tasks)
+        t.start();
+    eq.run();
+
+    std::string why;
+    EXPECT_TRUE(map.validateFunctional(&why)) << why;
+    EXPECT_EQ(sys.stats().commits, kWorkers * 30u);
+    if (stats_out)
+        *stats_out = sys.stats();
+
+    std::map<std::uint64_t, std::uint64_t> out;
+    for (std::uint64_t k : map.keysFunctional())
+        out[k] = 1; // presence only: values race by design
+    return out;
+}
+
+TEST(Policies, BoundedSerializesButStaysCorrect)
+{
+    HtmStats stats;
+    auto state = runWorkload(HtmPolicy::llcBounded(), &stats);
+    EXPECT_FALSE(state.empty());
+    // The tiny 64KB LLC cannot hold 4 concurrent 15KB+ write sets plus
+    // the map: capacity aborts and slow-path commits must appear.
+    EXPECT_GT(stats.abortsOf(AbortCause::Capacity), 0u);
+    EXPECT_GT(stats.serializedCommits, 0u);
+}
+
+TEST(Policies, SignatureOnlyIsCorrectDespiteFalsePositives)
+{
+    HtmStats stats;
+    auto state = runWorkload(HtmPolicy::signatureOnly(512), &stats);
+    EXPECT_FALSE(state.empty());
+    EXPECT_GT(stats.sigChecks, 0u);
+}
+
+TEST(Policies, UhtmAndIdealAvoidCapacityAborts)
+{
+    for (const auto &policy :
+         {HtmPolicy::uhtmOpt(2048), HtmPolicy::ideal()}) {
+        HtmStats stats;
+        runWorkload(policy, &stats);
+        EXPECT_EQ(stats.abortsOf(AbortCause::Capacity), 0u);
+        EXPECT_GT(stats.overflowedTxs, 0u)
+            << "the tiny LLC must overflow; UHTM absorbs it";
+    }
+}
+
+TEST(Policies, UndoAndRedoDramLoggingAgreeFunctionally)
+{
+    HtmPolicy undo = HtmPolicy::uhtmOpt(2048);
+    undo.dramLog = DramOverflowLog::Undo;
+    HtmPolicy redo = HtmPolicy::uhtmOpt(2048);
+    redo.dramLog = DramOverflowLog::Redo;
+    // Identical seeds and workloads: the logging mode affects timing,
+    // never the committed state.
+    auto a = runWorkload(undo);
+    auto b = runWorkload(redo);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Policies, SerializedTxCannotBeAborted)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::llcBounded());
+    const DomainId dom = sys.createDomain("p0");
+
+    TxDesc *ser = sys.beginSerializedTx(0, dom, 0);
+    EXPECT_TRUE(sys.domainLocked(dom));
+    EXPECT_FALSE(sys.requestAbortForTest(ser));
+    // Serialized transactions overflow freely without aborting.
+    const Addr base = MemLayout::kDramBase + 0x40000;
+    const std::uint64_t lines =
+        sys.llc().capacityLines() + sys.llc().ways();
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        sys.issueAccess(0, dom, base + i * kLineBytes, true, true, 1);
+        eq.run();
+    }
+    EXPECT_FALSE(ser->abortRequested);
+    sys.issueCommit(0);
+    eq.run();
+    EXPECT_FALSE(sys.domainLocked(dom)) << "commit releases the lock";
+    EXPECT_EQ(sys.stats().serializedCommits, 1u);
+}
+
+TEST(Policies, LockPreemptsRunningTransactions)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::llcBounded());
+    const DomainId dom = sys.createDomain("p0");
+    const DomainId other = sys.createDomain("p1");
+
+    TxDesc *fast = sys.beginTx(0, dom, 0);
+    TxDesc *foreign = sys.beginTx(2, other, 0);
+    sys.beginSerializedTx(1, dom, 0);
+    EXPECT_TRUE(fast->abortRequested)
+        << "Algorithm 1: writing the fallback lock aborts fast-path txs";
+    EXPECT_EQ(fast->abortCause, AbortCause::LockPreempt);
+    EXPECT_FALSE(foreign->abortRequested)
+        << "the lock is per conflict domain";
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Crash-recovery property tests: power failure injected at arbitrary
+ * points of a concurrent durable workload must leave an NVM image that
+ * recovers to a consistent hash table containing exactly committed
+ * data (paper Section IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "workloads/hashmap.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+/**
+ * Functional hash-map reader over an arbitrary NVM image (the
+ * recovered store), mirroring SimHashMap's layout.
+ */
+class RecoveredMapReader
+{
+  public:
+    RecoveredMapReader(const BackingStore &img, Addr buckets,
+                       std::uint64_t nbuckets)
+        : _img(img), _buckets(buckets), _n(nbuckets)
+    {
+    }
+
+    std::map<std::uint64_t, std::uint64_t>
+    entries(bool *ok) const
+    {
+        std::map<std::uint64_t, std::uint64_t> out;
+        *ok = true;
+        for (std::uint64_t b = 0; b < _n; ++b) {
+            Addr cur = _img.read64(_buckets + b * 8);
+            unsigned hops = 0;
+            while (cur != 0) {
+                if (++hops > 100000) { // cycle => corrupt
+                    *ok = false;
+                    return out;
+                }
+                const std::uint64_t key = _img.read64(cur);
+                if (out.count(key)) {
+                    *ok = false; // duplicate key => corrupt
+                    return out;
+                }
+                out[key] = _img.read64(cur + 8);
+                cur = _img.read64(cur + 16);
+            }
+        }
+        return out;
+    }
+
+  private:
+    const BackingStore &_img;
+    Addr _buckets;
+    std::uint64_t _n;
+};
+
+class CrashRecovery : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CrashRecovery, RecoveredTableIsCommittedPrefixConsistent)
+{
+    const unsigned seed = GetParam();
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    RegionAllocator regions;
+    const DomainId dom = sys.createDomain("p0");
+
+    constexpr std::uint64_t kBuckets = 64;
+    SimHashMap map(sys, regions, MemKind::Nvm, kBuckets);
+    // Reach into the map's layout via a parallel construction: the
+    // bucket array is the first reservation after construction.
+    // (SimHashMap reserved its buckets from `regions` first.)
+    const Addr buckets_base = MemLayout::kNvmBase + MiB(1);
+
+    constexpr unsigned kWorkers = 3;
+    std::vector<std::unique_ptr<TxContext>> ctxs;
+    std::vector<std::unique_ptr<TxAllocator>> allocs;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        ctxs.push_back(
+            std::make_unique<TxContext>(sys, w, dom, seed * 31 + w));
+        allocs.push_back(std::make_unique<TxAllocator>(
+            sys, regions, MemKind::Nvm, MiB(2)));
+    }
+
+    // Each worker records (key, value) pairs AFTER the commit returns.
+    std::map<std::uint64_t, std::uint64_t> committed;
+    auto worker = [&](TxContext &c, TxAllocator &al,
+                      std::uint64_t base) -> Task {
+        Rng r(base * 977 + seed);
+        for (int i = 0; i < 40; ++i) {
+            const std::uint64_t key = 1 + r.below(200);
+            const std::uint64_t val = (base << 48) | (i + 1);
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                co_await map.insert(t, al, key, val);
+            });
+            committed[key] = val;
+        }
+    };
+
+    std::vector<Task> tasks;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        tasks.push_back(worker(*ctxs[w], *allocs[w], w + 1));
+    for (auto &t : tasks)
+        t.start();
+
+    // Run to completion once to learn the horizon, then replay the
+    // crash at a seed-dependent fraction of it in a fresh system...
+    // simpler: crash THIS run mid-flight.
+    const Tick crash_at = 50000ull * (seed * 7919 % 997) + 100000;
+    eq.runUntil(crash_at);
+
+    // ---- power failure ----
+    BackingStore recovered = sys.recoverAfterCrash();
+    bool ok = true;
+    RecoveredMapReader reader(recovered, buckets_base, kBuckets);
+    auto entries = reader.entries(&ok);
+    ASSERT_TRUE(ok) << "recovered table structurally corrupt";
+
+    // Every recovered entry must be a committed value for that key at
+    // some point (no torn/uncommitted data). Values encode writer+seq,
+    // so membership in any worker's committed stream is checkable:
+    for (const auto &[key, val] : entries) {
+        const std::uint64_t writer = val >> 48;
+        const std::uint64_t step = val & 0xffffffffull;
+        EXPECT_GE(writer, 1u);
+        EXPECT_LE(writer, kWorkers);
+        EXPECT_GE(step, 1u);
+        EXPECT_LE(step, 40u);
+    }
+
+    // Continue the run to the end: final architectural state must
+    // match the committed map exactly (isolation + atomicity).
+    eq.run();
+    std::string why;
+    EXPECT_TRUE(map.validateFunctional(&why)) << why;
+    for (const auto &[key, val] : committed)
+        EXPECT_EQ(map.lookupFunctional(key), val);
+
+    // And a crash after everything committed recovers everything.
+    BackingStore final_img = sys.recoverAfterCrash();
+    RecoveredMapReader final_reader(final_img, buckets_base, kBuckets);
+    auto final_entries = final_reader.entries(&ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(final_entries.size(), committed.size());
+    for (const auto &[key, val] : committed)
+        EXPECT_EQ(final_entries[key], val);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecovery,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+TEST(Recovery, DramDataDoesNotSurviveCrash)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+    TxContext ctx(sys, 0, dom);
+
+    const Addr dram_slot = MemLayout::kDramBase + 0x9000;
+    const Addr nvm_slot = MemLayout::kNvmBase + 0x9000;
+    bool done = false;
+    auto root = [](TxContext &c, Addr d, Addr n, bool &f) -> Task {
+        co_await c.run([&](TxContext &t) -> CoTask<void> {
+            co_await t.write64(d, 111);
+            co_await t.write64(n, 222);
+        });
+        f = true;
+    }(ctx, dram_slot, nvm_slot, done);
+    root.start();
+    eq.run();
+    ASSERT_TRUE(done);
+
+    BackingStore recovered = sys.recoverAfterCrash();
+    EXPECT_EQ(recovered.read64(nvm_slot), 222u);
+    EXPECT_EQ(recovered.read64(dram_slot), 0u)
+        << "recovery reconstructs NVM state only (paper IV-C)";
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bloom-signature tests: the no-false-negative property (the hardware
+ * correctness requirement), clearing, and the saturation behaviour
+ * behind the paper's signature-size sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "htm/signature.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+class SignatureSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignatureSizes, NeverForgetsInsertedLines)
+{
+    BloomSignature sig(GetParam(), 4);
+    Rng rng(11);
+    std::vector<Addr> inserted;
+    // Far beyond saturation: correctness must hold regardless.
+    for (int i = 0; i < 5000; ++i) {
+        const Addr line = lineAlign(rng.next());
+        sig.insert(line);
+        inserted.push_back(line);
+    }
+    for (Addr line : inserted)
+        EXPECT_TRUE(sig.mayContain(line));
+}
+
+TEST_P(SignatureSizes, ClearEmptiesTheFilter)
+{
+    BloomSignature sig(GetParam(), 4);
+    sig.insert(0x1000);
+    EXPECT_FALSE(sig.empty());
+    sig.clear();
+    EXPECT_TRUE(sig.empty());
+    EXPECT_DOUBLE_EQ(sig.fillRatio(), 0.0);
+    EXPECT_EQ(sig.inserts(), 0u);
+}
+
+TEST_P(SignatureSizes, FillRatioGrowsMonotonically)
+{
+    BloomSignature sig(GetParam(), 4);
+    Rng rng(3);
+    double prev = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        sig.insert(lineAlign(rng.next()));
+        const double fill = sig.fillRatio();
+        EXPECT_GE(fill, prev);
+        prev = fill;
+    }
+    EXPECT_GT(prev, 0.0);
+    EXPECT_LE(prev, 1.0);
+}
+
+TEST_P(SignatureSizes, FalsePositiveRateTracksTheory)
+{
+    const unsigned bits = GetParam();
+    BloomSignature sig(bits, 4);
+    Rng rng(7);
+    // Insert bits/16 lines: fill = 1 - exp(-4 * n / m) = ~22%.
+    const unsigned n = bits / 16;
+    std::unordered_set<Addr> members;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr line = lineAlign(rng.next());
+        sig.insert(line);
+        members.insert(line);
+    }
+    unsigned fp = 0, probes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = lineAlign(rng.next());
+        if (members.count(line))
+            continue;
+        ++probes;
+        if (sig.mayContain(line))
+            ++fp;
+    }
+    const double rate = static_cast<double>(fp) / probes;
+    const double fill = sig.fillRatio();
+    const double expect = fill * fill * fill * fill;
+    EXPECT_NEAR(rate, expect, 0.02)
+        << "fill=" << fill << " bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, SignatureSizes,
+                         ::testing::Values(512u, 1024u, 2048u, 4096u,
+                                           16384u));
+
+TEST(Signature, AllBytesOfALineMapTogether)
+{
+    BloomSignature sig(1024, 4);
+    sig.insert(0x1000);
+    // Any byte address within the same line must hit.
+    EXPECT_TRUE(sig.mayContain(0x1000));
+    EXPECT_TRUE(sig.mayContain(0x1008));
+    EXPECT_TRUE(sig.mayContain(0x103f));
+}
+
+TEST(Signature, SaturatedFilterHitsEverything)
+{
+    BloomSignature sig(512, 4);
+    Rng rng(9);
+    for (int i = 0; i < 4000; ++i)
+        sig.insert(lineAlign(rng.next()));
+    EXPECT_GT(sig.fillRatio(), 0.99);
+    unsigned hits = 0;
+    for (int i = 0; i < 1000; ++i)
+        hits += sig.mayContain(lineAlign(rng.next()));
+    EXPECT_GT(hits, 950u) << "saturated filters are the paper's 99% case";
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * End-to-end smoke tests: a transaction increments a counter, two
+ * transactions conflict, durability survives a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "htm/tx_context.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+/** Drive a single CoTask to completion on the event queue. */
+void
+runToCompletion(EventQueue &eq, CoTask<void> task)
+{
+    bool done = false;
+    auto root = [](CoTask<void> t, bool &flag) -> Task {
+        co_await t;
+        flag = true;
+    }(std::move(task), done);
+    root.start();
+    eq.run();
+    ASSERT_TRUE(done) << "workload did not finish";
+}
+
+TEST(Smoke, SingleTransactionIncrementsCounter)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+    TxContext ctx(sys, 0, dom);
+
+    const Addr counter = MemLayout::kDramBase + 0x1000;
+    sys.setupWrite64(counter, 41);
+
+    runToCompletion(eq, [](TxContext &c, Addr a) -> CoTask<void> {
+        co_await c.run([&](TxContext &t) -> CoTask<void> {
+            const std::uint64_t v = co_await t.read64(a);
+            co_await t.write64(a, v + 1);
+        });
+    }(ctx, counter));
+
+    EXPECT_EQ(sys.setupRead64(counter), 42u);
+    EXPECT_EQ(sys.stats().commits, 1u);
+    EXPECT_EQ(sys.stats().totalAborts(), 0u);
+    EXPECT_GT(eq.now(), 0u);
+}
+
+TEST(Smoke, NvmWriteIsDurableAfterCommit)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+    TxContext ctx(sys, 0, dom);
+
+    const Addr slot = MemLayout::kNvmBase + 0x2000;
+
+    runToCompletion(eq, [](TxContext &c, Addr a) -> CoTask<void> {
+        co_await c.run([&](TxContext &t) -> CoTask<void> {
+            co_await t.write64(a, 0xfeedface);
+        });
+    }(ctx, slot));
+
+    EXPECT_EQ(sys.setupRead64(slot), 0xfeedfaceu);
+    BackingStore recovered = sys.recoverAfterCrash();
+    EXPECT_EQ(recovered.read64(slot), 0xfeedfaceu);
+}
+
+TEST(Smoke, ConflictingWritersBothCommitEventually)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+    TxContext c0(sys, 0, dom, 7);
+    TxContext c1(sys, 1, dom, 9);
+
+    const Addr shared = MemLayout::kDramBase + 0x4000;
+    sys.setupWrite64(shared, 0);
+
+    auto worker = [](TxContext &c, Addr a, int n) -> CoTask<void> {
+        for (int i = 0; i < n; ++i) {
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                const std::uint64_t v = co_await t.read64(a);
+                co_await t.compute(ticksFromNs(50));
+                co_await t.write64(a, v + 1);
+            });
+        }
+    };
+
+    int finished = 0;
+    auto root = [](CoTask<void> t, int &f) -> Task {
+        co_await t;
+        ++f;
+    };
+    Task t0 = root(worker(c0, shared, 20), finished);
+    Task t1 = root(worker(c1, shared, 20), finished);
+    t0.start();
+    t1.start();
+    eq.run();
+
+    ASSERT_EQ(finished, 2);
+    // Serializability: every increment must be visible.
+    EXPECT_EQ(sys.setupRead64(shared), 40u);
+    EXPECT_EQ(sys.stats().commits, 40u);
+}
+
+TEST(Smoke, UncommittedNvmWriteIsNotDurable)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048));
+    const DomainId dom = sys.createDomain("p0");
+    TxContext ctx(sys, 0, dom);
+
+    const Addr slot = MemLayout::kNvmBase + 0x3000;
+    sys.setupWrite64(slot, 7);
+
+    // Begin a transaction, write, then crash before commit.
+    bool wrote = false;
+    auto root = [](TxContext &c, Addr a, bool &w) -> Task {
+        c.system().beginTx(c.core(), c.domain(), 0);
+        co_await c.write64(a, 99);
+        w = true;
+        // never commits: simulated crash
+    }(ctx, slot, wrote);
+    root.start();
+    eq.run();
+    ASSERT_TRUE(wrote);
+
+    BackingStore recovered = sys.recoverAfterCrash();
+    EXPECT_EQ(recovered.read64(slot), 7u)
+        << "uncommitted redo entries must be disregarded";
+    // Architectural state also still holds the old value (isolation).
+    EXPECT_EQ(sys.setupRead64(slot), 7u);
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Edge-case tests for the index structures: deep B+tree split chains,
+ * range scans, duplicate-heavy insertion, empty-structure behaviour,
+ * and large sequential/reverse key patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workloads/btree.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/skiplist.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+struct Fixture
+{
+    EventQueue eq;
+    HtmSystem sys{eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048)};
+    RegionAllocator regions;
+    DomainId dom = sys.createDomain("p0");
+};
+
+TEST(BTreeEdge, EmptyTreeLookupsAndValidation)
+{
+    Fixture f;
+    SimBTree tree(f.sys, f.regions, MemKind::Dram);
+    EXPECT_EQ(tree.lookupFunctional(1), 0u);
+    EXPECT_EQ(tree.sizeFunctional(), 0u);
+    std::string why;
+    EXPECT_TRUE(tree.validateFunctional(&why)) << why;
+}
+
+TEST(BTreeEdge, SequentialAndReverseInsertionKeepInvariants)
+{
+    Fixture f;
+    for (bool reverse : {false, true}) {
+        SimBTree tree(f.sys, f.regions, MemKind::Dram);
+        TxAllocator alloc(f.sys, f.regions, MemKind::Dram, MiB(8));
+        // Thousands of inserts force multi-level split chains.
+        for (std::uint64_t i = 1; i <= 3000; ++i) {
+            const std::uint64_t key = reverse ? 3001 - i : i;
+            tree.insertSetup(alloc, key, key * 7);
+        }
+        std::string why;
+        ASSERT_TRUE(tree.validateFunctional(&why))
+            << (reverse ? "reverse: " : "forward: ") << why;
+        EXPECT_EQ(tree.sizeFunctional(), 3000u);
+        EXPECT_EQ(tree.lookupFunctional(1), 7u);
+        EXPECT_EQ(tree.lookupFunctional(3000), 21000u);
+        // keysFunctional walks the leaf chain: must be 1..3000 sorted.
+        auto keys = tree.keysFunctional();
+        ASSERT_EQ(keys.size(), 3000u);
+        EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+        EXPECT_EQ(keys.front(), 1u);
+        EXPECT_EQ(keys.back(), 3000u);
+    }
+}
+
+TEST(BTreeEdge, ScanCountsExactRange)
+{
+    Fixture f;
+    SimBTree tree(f.sys, f.regions, MemKind::Dram);
+    TxAllocator alloc(f.sys, f.regions, MemKind::Dram, MiB(4));
+    for (std::uint64_t k = 10; k <= 1000; k += 10)
+        tree.insertSetup(alloc, k, k);
+
+    TxContext ctx(f.sys, 0, f.dom);
+    std::uint64_t mid = 0, all = 0, none = 0, edge = 0;
+    bool done = false;
+    auto root = [](TxContext &c, SimBTree &t, std::uint64_t &m,
+                   std::uint64_t &a, std::uint64_t &n, std::uint64_t &e,
+                   bool &flag) -> Task {
+        co_await c.run([&](TxContext &tx) -> CoTask<void> {
+            m = co_await t.scan(tx, 100, 200);   // 100..200 by 10: 11
+            a = co_await t.scan(tx, 0, 100000);  // everything: 100
+            n = co_await t.scan(tx, 1001, 2000); // nothing
+            e = co_await t.scan(tx, 10, 10);     // single key
+        });
+        flag = true;
+    }(ctx, tree, mid, all, none, edge, done);
+    root.start();
+    f.eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(mid, 11u);
+    EXPECT_EQ(all, 100u);
+    EXPECT_EQ(none, 0u);
+    EXPECT_EQ(edge, 1u);
+}
+
+TEST(RBTreeEdge, SequentialInsertionStaysBalanced)
+{
+    Fixture f;
+    SimRBTree tree(f.sys, f.regions, MemKind::Dram);
+    TxAllocator alloc(f.sys, f.regions, MemKind::Dram, MiB(8));
+    for (std::uint64_t i = 1; i <= 4000; ++i)
+        tree.insertSetup(alloc, i, i);
+    std::string why;
+    ASSERT_TRUE(tree.validateFunctional(&why)) << why;
+    EXPECT_EQ(tree.sizeFunctional(), 4000u);
+    auto keys = tree.keysFunctional();
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(SkipListEdge, DuplicateInsertOverwritesInPlace)
+{
+    Fixture f;
+    SimSkipList list(f.sys, f.regions, MemKind::Dram);
+    TxAllocator alloc(f.sys, f.regions, MemKind::Dram, MiB(2));
+    Rng rng(4);
+    for (int round = 0; round < 5; ++round)
+        for (std::uint64_t k = 1; k <= 100; ++k)
+            list.insertSetup(alloc, rng, k, k * 1000 + round);
+    EXPECT_EQ(list.sizeFunctional(), 100u)
+        << "overwrites must not duplicate nodes";
+    EXPECT_EQ(list.lookupFunctional(50), 50004u);
+    std::string why;
+    EXPECT_TRUE(list.validateFunctional(&why)) << why;
+}
+
+TEST(HashMapEdge, HeavyChainingStillCorrect)
+{
+    Fixture f;
+    // 16 buckets with 600 keys: long chains exercise traversal.
+    SimHashMap map(f.sys, f.regions, MemKind::Dram, 16);
+    TxAllocator alloc(f.sys, f.regions, MemKind::Dram, MiB(2));
+    for (std::uint64_t k = 1; k <= 600; ++k)
+        map.insertSetup(alloc, k, k + 5);
+    EXPECT_EQ(map.sizeFunctional(), 600u);
+    for (std::uint64_t k = 1; k <= 600; k += 37)
+        EXPECT_EQ(map.lookupFunctional(k), k + 5);
+    std::string why;
+    EXPECT_TRUE(map.validateFunctional(&why)) << why;
+}
+
+TEST(StructureEdge, TransactionalAndSetupPathsInterleave)
+{
+    // Setup inserts followed by transactional inserts must compose.
+    Fixture f;
+    SimBTree tree(f.sys, f.regions, MemKind::Nvm);
+    TxAllocator alloc(f.sys, f.regions, MemKind::Nvm, MiB(4));
+    for (std::uint64_t k = 2; k <= 1000; k += 2)
+        tree.insertSetup(alloc, k, k);
+
+    TxContext ctx(f.sys, 0, f.dom);
+    bool done = false;
+    auto root = [](TxContext &c, SimBTree &t, TxAllocator &al,
+                   bool &flag) -> Task {
+        for (std::uint64_t k = 1; k <= 999; k += 2) {
+            co_await c.run([&](TxContext &tx) -> CoTask<void> {
+                co_await t.insert(tx, al, k, k);
+            });
+        }
+        flag = true;
+    }(ctx, tree, alloc, done);
+    root.start();
+    f.eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(tree.sizeFunctional(), 1000u);
+    std::string why;
+    EXPECT_TRUE(tree.validateFunctional(&why)) << why;
+    auto keys = tree.keysFunctional();
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(keys[i], i + 1);
+}
+
+} // namespace
+} // namespace uhtm

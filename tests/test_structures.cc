@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Functional and transactional tests of the four index structures:
+ * single-threaded correctness against a reference map, invariant
+ * validation, and concurrent multi-worker stress with abort/retry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "workloads/btree.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/skiplist.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+struct IndexCase
+{
+    IndexKind kind;
+    MemKind mem;
+};
+
+std::unique_ptr<SimIndex>
+makeIndex(IndexKind kind, HtmSystem &sys, RegionAllocator &regions,
+          MemKind mem)
+{
+    switch (kind) {
+      case IndexKind::HashMap:
+        return std::make_unique<SimHashMap>(sys, regions, mem, 256);
+      case IndexKind::BTree:
+        return std::make_unique<SimBTree>(sys, regions, mem);
+      case IndexKind::RBTree:
+        return std::make_unique<SimRBTree>(sys, regions, mem);
+      case IndexKind::SkipList:
+        return std::make_unique<SimSkipList>(sys, regions, mem);
+    }
+    return nullptr;
+}
+
+class StructureTest : public ::testing::TestWithParam<IndexCase>
+{
+  protected:
+    EventQueue eq;
+    HtmSystem sys{eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(2048)};
+    RegionAllocator regions;
+};
+
+TEST_P(StructureTest, TransactionalInsertLookupAgainstReference)
+{
+    const auto param = GetParam();
+    auto index = makeIndex(param.kind, sys, regions, param.mem);
+    const DomainId dom = sys.createDomain("p0");
+    TxContext ctx(sys, 0, dom, 11);
+    TxAllocator alloc(sys, regions, param.mem, MiB(4));
+
+    std::map<std::uint64_t, std::uint64_t> reference;
+    Rng rng(42);
+
+    bool done = false;
+    auto root = [](TxContext &c, SimIndex &idx, TxAllocator &al, Rng &r,
+                   std::map<std::uint64_t, std::uint64_t> &ref,
+                   bool &flag) -> Task {
+        for (int i = 0; i < 200; ++i) {
+            // Duplicate keys exercise the overwrite path.
+            const std::uint64_t key = 1 + r.below(120);
+            const std::uint64_t val = 1 + r.next() % 100000;
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                co_await idx.insert(t, al, key, val);
+            });
+            ref[key] = val;
+        }
+        flag = true;
+    }(ctx, *index, alloc, rng, reference, done);
+    root.start();
+    eq.run();
+    ASSERT_TRUE(done);
+
+    std::string why;
+    EXPECT_TRUE(index->validateFunctional(&why)) << why;
+    EXPECT_EQ(index->sizeFunctional(), reference.size());
+    for (const auto &[k, v] : reference)
+        EXPECT_EQ(index->lookupFunctional(k), v) << "key " << k;
+    EXPECT_EQ(index->lookupFunctional(999999), 0u);
+}
+
+TEST_P(StructureTest, SetupInsertMatchesFunctionalLookup)
+{
+    const auto param = GetParam();
+    auto index = makeIndex(param.kind, sys, regions, param.mem);
+    TxAllocator alloc(sys, regions, param.mem, MiB(4));
+    Rng rng(7);
+
+    std::map<std::uint64_t, std::uint64_t> reference;
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t key = 1 + rng.below(200);
+        const std::uint64_t val = 1 + rng.next() % 100000;
+        switch (param.kind) {
+          case IndexKind::HashMap:
+            static_cast<SimHashMap *>(index.get())->insertSetup(alloc, key,
+                                                                val);
+            break;
+          case IndexKind::BTree:
+            static_cast<SimBTree *>(index.get())->insertSetup(alloc, key,
+                                                              val);
+            break;
+          case IndexKind::RBTree:
+            static_cast<SimRBTree *>(index.get())->insertSetup(alloc, key,
+                                                               val);
+            break;
+          case IndexKind::SkipList:
+            static_cast<SimSkipList *>(index.get())->insertSetup(
+                alloc, rng, key, val);
+            break;
+        }
+        reference[key] = val;
+    }
+    std::string why;
+    EXPECT_TRUE(index->validateFunctional(&why)) << why;
+    EXPECT_EQ(index->sizeFunctional(), reference.size());
+    for (const auto &[k, v] : reference)
+        EXPECT_EQ(index->lookupFunctional(k), v);
+
+    // Keys come back sorted for the ordered structures.
+    if (param.kind == IndexKind::BTree || param.kind == IndexKind::RBTree ||
+        param.kind == IndexKind::SkipList) {
+        auto keys = index->keysFunctional();
+        ASSERT_EQ(keys.size(), reference.size());
+        auto it = reference.begin();
+        for (std::size_t i = 0; i < keys.size(); ++i, ++it)
+            EXPECT_EQ(keys[i], it->first);
+    }
+}
+
+TEST_P(StructureTest, ConcurrentWorkersPreserveInvariants)
+{
+    const auto param = GetParam();
+    auto index = makeIndex(param.kind, sys, regions, param.mem);
+    const DomainId dom = sys.createDomain("p0");
+
+    constexpr unsigned kWorkers = 4;
+    constexpr int kOpsPerWorker = 60;
+    std::vector<std::unique_ptr<TxContext>> ctxs;
+    std::vector<std::unique_ptr<TxAllocator>> allocs;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        ctxs.push_back(std::make_unique<TxContext>(sys, w, dom, 100 + w));
+        allocs.push_back(std::make_unique<TxAllocator>(sys, regions,
+                                                       param.mem, MiB(4)));
+    }
+
+    int finished = 0;
+    auto worker = [](TxContext &c, SimIndex &idx, TxAllocator &al,
+                     std::uint64_t base, int &fin) -> Task {
+        Rng r(base);
+        for (int i = 0; i < kOpsPerWorker; ++i) {
+            // Overlapping key ranges force real conflicts.
+            const std::uint64_t key = 1 + r.below(64);
+            const std::uint64_t val = (base << 32) | i;
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                co_await idx.insert(t, al, key, val);
+                co_await idx.lookup(t, key ^ 1);
+            });
+        }
+        ++fin;
+    };
+
+    std::vector<Task> tasks;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        tasks.push_back(
+            worker(*ctxs[w], *index, *allocs[w], w + 1, finished));
+    for (auto &t : tasks)
+        t.start();
+    eq.run();
+
+    ASSERT_EQ(finished, static_cast<int>(kWorkers));
+    std::string why;
+    EXPECT_TRUE(index->validateFunctional(&why)) << why;
+    EXPECT_EQ(sys.stats().commits, kWorkers * kOpsPerWorker);
+    // All inserted keys must be present with a value from some worker.
+    EXPECT_LE(index->sizeFunctional(), 64u);
+    EXPECT_GT(index->sizeFunctional(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, StructureTest,
+    ::testing::Values(IndexCase{IndexKind::HashMap, MemKind::Nvm},
+                      IndexCase{IndexKind::HashMap, MemKind::Dram},
+                      IndexCase{IndexKind::BTree, MemKind::Nvm},
+                      IndexCase{IndexKind::BTree, MemKind::Dram},
+                      IndexCase{IndexKind::RBTree, MemKind::Nvm},
+                      IndexCase{IndexKind::RBTree, MemKind::Dram},
+                      IndexCase{IndexKind::SkipList, MemKind::Nvm},
+                      IndexCase{IndexKind::SkipList, MemKind::Dram}),
+    [](const ::testing::TestParamInfo<IndexCase> &info) {
+        std::string name = indexKindName(info.param.kind);
+        name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+        return name + (info.param.mem == MemKind::Nvm ? "Nvm" : "Dram");
+    });
+
+} // namespace
+} // namespace uhtm
