@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_staging.dir/bench_abort_staging.cc.o"
+  "CMakeFiles/bench_abort_staging.dir/bench_abort_staging.cc.o.d"
+  "bench_abort_staging"
+  "bench_abort_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

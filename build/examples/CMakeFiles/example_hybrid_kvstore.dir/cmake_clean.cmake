@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_kvstore.dir/hybrid_kvstore.cpp.o"
+  "CMakeFiles/example_hybrid_kvstore.dir/hybrid_kvstore.cpp.o.d"
+  "example_hybrid_kvstore"
+  "example_hybrid_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_longrun_analytics.dir/longrun_analytics.cpp.o"
+  "CMakeFiles/example_longrun_analytics.dir/longrun_analytics.cpp.o.d"
+  "example_longrun_analytics"
+  "example_longrun_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_longrun_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiments.cc" "src/CMakeFiles/uhtm.dir/harness/experiments.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/harness/experiments.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/uhtm.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/harness/runner.cc.o.d"
+  "/root/repo/src/htm/htm_access.cc" "src/CMakeFiles/uhtm.dir/htm/htm_access.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/htm/htm_access.cc.o.d"
+  "/root/repo/src/htm/htm_commit.cc" "src/CMakeFiles/uhtm.dir/htm/htm_commit.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/htm/htm_commit.cc.o.d"
+  "/root/repo/src/htm/htm_system.cc" "src/CMakeFiles/uhtm.dir/htm/htm_system.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/htm/htm_system.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/uhtm.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram_cache.cc" "src/CMakeFiles/uhtm.dir/mem/dram_cache.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/mem/dram_cache.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/uhtm.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/uhtm.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/echo.cc" "src/CMakeFiles/uhtm.dir/workloads/echo.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/echo.cc.o.d"
+  "/root/repo/src/workloads/hashmap.cc" "src/CMakeFiles/uhtm.dir/workloads/hashmap.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/hashmap.cc.o.d"
+  "/root/repo/src/workloads/kv_dual.cc" "src/CMakeFiles/uhtm.dir/workloads/kv_dual.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/kv_dual.cc.o.d"
+  "/root/repo/src/workloads/kv_hybrid.cc" "src/CMakeFiles/uhtm.dir/workloads/kv_hybrid.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/kv_hybrid.cc.o.d"
+  "/root/repo/src/workloads/pmdk.cc" "src/CMakeFiles/uhtm.dir/workloads/pmdk.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/pmdk.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/CMakeFiles/uhtm.dir/workloads/rbtree.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/rbtree.cc.o.d"
+  "/root/repo/src/workloads/skiplist.cc" "src/CMakeFiles/uhtm.dir/workloads/skiplist.cc.o" "gcc" "src/CMakeFiles/uhtm.dir/workloads/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

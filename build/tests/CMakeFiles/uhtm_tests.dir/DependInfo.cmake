@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloc_ring.cc" "tests/CMakeFiles/uhtm_tests.dir/test_alloc_ring.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_alloc_ring.cc.o.d"
+  "/root/repo/tests/test_conflicts.cc" "tests/CMakeFiles/uhtm_tests.dir/test_conflicts.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_conflicts.cc.o.d"
+  "/root/repo/tests/test_context_switch.cc" "tests/CMakeFiles/uhtm_tests.dir/test_context_switch.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_context_switch.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/uhtm_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiments.cc" "tests/CMakeFiles/uhtm_tests.dir/test_experiments.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_experiments.cc.o.d"
+  "/root/repo/tests/test_htm_protocol.cc" "tests/CMakeFiles/uhtm_tests.dir/test_htm_protocol.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_htm_protocol.cc.o.d"
+  "/root/repo/tests/test_logs.cc" "tests/CMakeFiles/uhtm_tests.dir/test_logs.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_logs.cc.o.d"
+  "/root/repo/tests/test_mem_components.cc" "tests/CMakeFiles/uhtm_tests.dir/test_mem_components.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_mem_components.cc.o.d"
+  "/root/repo/tests/test_plumbing.cc" "tests/CMakeFiles/uhtm_tests.dir/test_plumbing.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_plumbing.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/uhtm_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_recovery.cc" "tests/CMakeFiles/uhtm_tests.dir/test_recovery.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_recovery.cc.o.d"
+  "/root/repo/tests/test_signature.cc" "tests/CMakeFiles/uhtm_tests.dir/test_signature.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_signature.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/uhtm_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_structure_edges.cc" "tests/CMakeFiles/uhtm_tests.dir/test_structure_edges.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_structure_edges.cc.o.d"
+  "/root/repo/tests/test_structures.cc" "tests/CMakeFiles/uhtm_tests.dir/test_structures.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_structures.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/uhtm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/uhtm_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uhtm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
