@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Crash-point fault injector.
+ *
+ * The FaultInjector is the concrete PersistProbe attached to the
+ * machine's persistence-ordering points (redo/undo log appends, commit
+ * and abort marks, DRAM-cache write-backs and drops, in-place NVM
+ * writes). Every notification becomes one numbered *crash point* in a
+ * deterministic, replayable schedule:
+ *
+ *   - sweep mode: an onPoint callback lets the harness schedule an
+ *     oracle check at the point's completion tick, so one instrumented
+ *     run validates every crash point;
+ *   - replay mode: armCrashAt(K) simulates a power failure when point
+ *     K's effect completes, by freezing the event queue (see
+ *     EventQueue::requestStop) — the machine state is then exactly what
+ *     a real crash at that instant would leave behind.
+ *
+ * The HTM layer additionally reports transaction outcomes
+ * (onTxCommitted / onTxAborted) which the CrashOracle uses as its
+ * independent model of what recovery must reproduce.
+ */
+
+#ifndef UHTM_CHECK_FAULT_INJECTOR_HH
+#define UHTM_CHECK_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "check/persist_probe.hh"
+#include "mem/undo_log.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+class CrashOracle;
+
+/** One numbered persistence-ordering point of the schedule. */
+struct PersistEvent
+{
+    /** Position in the crash schedule (0-based). */
+    std::uint64_t index = 0;
+    PersistPoint point = PersistPoint::RedoLogAppend;
+    Addr line = 0;
+    /** Tick at which the operation was issued (notification time). */
+    Tick issueTick = 0;
+    /** Tick at which its effect is durable (crash candidate tick). */
+    Tick completeAt = 0;
+};
+
+/** Counter-based crash scheduler over the machine's persist points. */
+class FaultInjector : public PersistProbe
+{
+  public:
+    /** Committed line image of one transaction (NVM write set). */
+    struct CommittedLine
+    {
+        Addr line = 0;
+        std::array<std::uint8_t, kLineBytes> data{};
+    };
+
+    /** Commit report from the HTM layer. */
+    struct CommittedTx
+    {
+        TxId tx = kNoTx;
+        /** Completion tick of the commit-record write (durability
+         *  point); 0 for transactions with no NVM write set. */
+        Tick commitDurableAt = 0;
+        std::vector<CommittedLine> nvmLines;
+    };
+
+    /** Pre/speculative images of one aborted line. */
+    struct AbortedLine
+    {
+        Addr line = 0;
+        std::array<std::uint8_t, kLineBytes> preImage{};
+        std::array<std::uint8_t, kLineBytes> specImage{};
+    };
+
+    /** Abort report from the HTM layer. */
+    struct AbortedTx
+    {
+        TxId tx = kNoTx;
+        /** Undo records handed back by the restore (DRAM rollback). */
+        std::vector<UndoEntry> undoEntries;
+        std::vector<AbortedLine> lines;
+    };
+
+    using PointFn =
+        std::function<void(const PersistEvent &, const std::uint8_t *)>;
+
+    explicit FaultInjector(EventQueue &eq) : _eq(eq) {}
+
+    /** Forward every event (and tx outcome) to @p oracle. */
+    void setOracle(CrashOracle *oracle) { _oracle = oracle; }
+
+    /** Sweep hook, called synchronously at each point's issue. */
+    void setOnPoint(PointFn fn) { _onPoint = std::move(fn); }
+
+    /**
+     * Arm a crash at schedule point @p k: when point k is issued, a
+     * power failure is scheduled at its completion tick (the event
+     * queue freezes there; pending events are lost, exactly like
+     * in-flight writes on a real power cut).
+     */
+    void
+    armCrashAt(std::uint64_t k)
+    {
+        _armed = true;
+        _crashAt = k;
+    }
+
+    /** True once the armed crash has fired. */
+    bool crashed() const { return _crashed; }
+
+    /** Tick at which the armed crash fired. */
+    Tick crashTick() const { return _crashTick; }
+
+    /** Points recorded so far (the schedule length). */
+    std::uint64_t pointCount() const { return _events.size(); }
+
+    const std::vector<PersistEvent> &events() const { return _events; }
+
+    /** Number of recorded points of kind @p p. */
+    std::uint64_t
+    countOf(PersistPoint p) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &e : _events)
+            n += e.point == p;
+        return n;
+    }
+
+    void notifyPersist(PersistPoint point, Addr line, Tick complete_at,
+                       const std::uint8_t *bytes) override;
+
+    /** @name Transaction outcome reports (HTM layer)
+     *  @{ */
+    void onTxCommitted(CommittedTx rec);
+    void onTxAborted(AbortedTx rec);
+    /** @} */
+
+  private:
+    EventQueue &_eq;
+    CrashOracle *_oracle = nullptr;
+    PointFn _onPoint;
+    std::vector<PersistEvent> _events;
+
+    bool _armed = false;
+    std::uint64_t _crashAt = 0;
+    bool _crashed = false;
+    Tick _crashTick = 0;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_CHECK_FAULT_INJECTOR_HH

@@ -468,7 +468,14 @@ HtmSystem::issueAccess(CoreId core, DomainId domain, Addr addr,
                 // [28]-style hardware redo logging at store time: the
                 // async log write consumes NVM bandwidth; commit waits
                 // for the durability horizon.
-                const Tick dur = _nvmCtrl.access(_eq.now(), true, true);
+                Tick dur = _nvmCtrl.access(_eq.now(), true, true);
+                if (_breakCommitMarkOrdering) {
+                    // Broken-fence model (test-only, see
+                    // setBreakCommitMarkOrdering): the record lingers
+                    // in a volatile log write buffer past the
+                    // controller's completion.
+                    dur += kBrokenLogFlushLag;
+                }
                 _redoLog.append(tx->id, line, buf, dur);
                 if (dur > tx->logsDurableAt)
                     tx->logsDurableAt = dur;

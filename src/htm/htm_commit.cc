@@ -16,6 +16,7 @@
 
 #include <cassert>
 
+#include "check/fault_injector.hh"
 #include "htm/htm_system.hh"
 #include "sim/trace.hh"
 
@@ -45,11 +46,22 @@ HtmSystem::issueCommit(CoreId core)
     Tick t_nvm = t;
     Tick commit_durable_at = 0;
     if (!nvm_lines.empty()) {
-        // Wait until all redo records are durable, then persist the
-        // commit record — the transaction's durability point.
-        t_nvm = std::max(t_nvm, tx->logsDurableAt);
-        t_nvm = _nvmCtrl.access(t_nvm, true, true);
-        commit_durable_at = t_nvm;
+        if (_breakCommitMarkOrdering) {
+            // Deliberately broken ordering (test-only, see
+            // setBreakCommitMarkOrdering): no fence — the commit
+            // record is written while member records still sit in the
+            // volatile log write buffer, so it becomes durable first
+            // and a crash in between finds a durable commit mark
+            // pointing at torn log records.
+            t_nvm = _nvmCtrl.access(t_nvm, true, true);
+            commit_durable_at = t_nvm;
+        } else {
+            // Wait until all redo records are durable, then persist
+            // the commit record — the transaction's durability point.
+            t_nvm = std::max(t_nvm, tx->logsDurableAt);
+            t_nvm = _nvmCtrl.access(t_nvm, true, true);
+            commit_durable_at = t_nvm;
+        }
         // Flush the NVM write set to the DRAM cache (slot-pipelined
         // DRAM writes); in-place NVM updates happen lazily on DRAM
         // cache eviction, off the critical path.
@@ -106,6 +118,19 @@ HtmSystem::issueCommit(CoreId core)
         }
     }
     _undoLog.commit(tx->id);
+
+    if (_faultInjector && !nvm_lines.empty()) {
+        FaultInjector::CommittedTx rec;
+        rec.tx = tx->id;
+        rec.commitDurableAt = commit_durable_at;
+        rec.nvmLines.reserve(nvm_lines.size());
+        for (Addr line : nvm_lines) {
+            rec.nvmLines.push_back(
+                FaultInjector::CommittedLine{line,
+                                             tx->writeBuffer.at(line)});
+        }
+        _faultInjector->onTxCommitted(std::move(rec));
+    }
 
     // Clear this core's transactional cache metadata; LLC reader marks
     // are pruned lazily via the TSS.
@@ -190,11 +215,27 @@ HtmSystem::issueAbort(CoreId core)
     // found through the overflow list.
     if (_redoLog.entryCount(tx->id) > 0) {
         t = _nvmCtrl.access(t, true, true);
+        if (_faultInjector) {
+            _faultInjector->notifyPersist(PersistPoint::AbortMark, 0, t,
+                                          nullptr);
+        }
         for (Addr line : tx->overflowList)
             if (MemLayout::kindOf(line) == MemKind::Nvm)
                 _dramCache.invalidateEntry(line, tx->id);
         _redoLog.abort(tx->id);
         _redoLog.reclaimAborted();
+    }
+
+    if (_faultInjector) {
+        FaultInjector::AbortedTx rec;
+        rec.tx = tx->id;
+        rec.undoEntries = entries;
+        rec.lines.reserve(tx->writeBuffer.size());
+        for (const auto &[line, buf] : tx->writeBuffer) {
+            rec.lines.push_back(FaultInjector::AbortedLine{
+                line, tx->preImage.at(line), buf});
+        }
+        _faultInjector->onTxAborted(std::move(rec));
     }
 
     _stats.abortProtocolNs.sample(nsFromTicks(t - start));

@@ -9,6 +9,7 @@
 
 #include <cassert>
 
+#include "check/fault_injector.hh"
 #include "sim/trace.hh"
 
 namespace uhtm
@@ -247,6 +248,16 @@ std::uint64_t
 HtmSystem::setupRead64(Addr a) const
 {
     return _store.read64(a);
+}
+
+void
+HtmSystem::setFaultInjector(FaultInjector *fi)
+{
+    _faultInjector = fi;
+    _redoLog.setProbe(fi);
+    _undoLog.setProbe(fi);
+    _dramCache.setProbe(fi);
+    _durableNvm.setProbe(fi);
 }
 
 BackingStore

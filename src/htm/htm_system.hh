@@ -49,6 +49,8 @@
 namespace uhtm
 {
 
+class FaultInjector;
+
 /** Aggregate HTM statistics for one run. */
 struct HtmStats
 {
@@ -254,6 +256,31 @@ class HtmSystem
     /** Durable in-place NVM image (pre-replay), for tests. */
     const BackingStore &durableNvm() const { return _durableNvm; }
 
+    /**
+     * Attach (or with nullptr detach) a crash-point fault injector:
+     * wires the persistence probes of the logs, the DRAM cache and the
+     * durable NVM image, and enables transaction-outcome reports from
+     * the commit/abort protocols.
+     */
+    void setFaultInjector(FaultInjector *fi);
+
+    FaultInjector *faultInjector() const { return _faultInjector; }
+
+    /**
+     * Test-only protocol mutation modelling a missing persist fence:
+     * redo-log record writes linger in a volatile log write buffer
+     * (their durability lags the controller by kBrokenLogFlushLag) and
+     * the commit record no longer waits for them to drain. The commit
+     * record can thus become durable while member records are still
+     * volatile — exactly the torn-log window the paper's commit-mark
+     * ordering (Section IV-C) exists to rule out, and the detection
+     * target the crash-sweep oracle is validated against.
+     */
+    void setBreakCommitMarkOrdering(bool b)
+    {
+        _breakCommitMarkOrdering = b;
+    }
+
     /** @} */
 
     /** @name Component and state access (tests, harness)
@@ -376,6 +403,13 @@ class HtmSystem
 
     TxId _nextTxId = 1;
     HtmStats _stats;
+
+    FaultInjector *_faultInjector = nullptr;
+    bool _breakCommitMarkOrdering = false;
+    /** Extra log-record durability lag under the broken-fence model
+     *  (see setBreakCommitMarkOrdering). Generously larger than any
+     *  commit-protocol prefix so the torn window is always open. */
+    static constexpr Tick kBrokenLogFlushLag = ticksFromNs(5000);
 
     /** Overflow-list entries fetched per DRAM access during walks. */
     static constexpr unsigned kListEntriesPerAccess = 8;

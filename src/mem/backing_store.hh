@@ -17,6 +17,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "check/persist_probe.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -97,8 +98,21 @@ class BackingStore
     void
     writeLine(Addr line_base, const std::uint8_t in[kLineBytes])
     {
+        // Notify before the page update so the probe can still observe
+        // the pre-write image of the line.
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::InPlaceNvmWrite,
+                                  line_base, 0, in);
+        }
         write(line_base, in, kLineBytes);
     }
+
+    /**
+     * Attach a persistence probe, notified on every line write. Only
+     * meaningful on the durable NVM image; recovery scratch copies
+     * (copyFrom) never inherit the probe.
+     */
+    void setProbe(PersistProbe *probe) { _probe = probe; }
 
     /** Number of materialised pages (for tests and memory accounting). */
     std::size_t pageCount() const { return _pages.size(); }
@@ -137,6 +151,7 @@ class BackingStore
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+    PersistProbe *_probe = nullptr;
 };
 
 } // namespace uhtm

@@ -67,8 +67,16 @@ DramCache::evict(DramCacheEntry &victim)
         // Uncommitted line forced out; its bytes remain recoverable from
         // the redo log, so it is safe (if slow) to drop it here.
         ++_stats.uncommittedDrops;
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::DramCacheDrop, victim.tag,
+                                  0, nullptr);
+        }
     } else if (victim.dirty) {
         ++_stats.writeBacks;
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::DramCacheWriteback,
+                                  victim.tag, 0, victim.data.data());
+        }
         if (_writeBack)
             _writeBack(victim.tag, victim.data);
     }
@@ -86,6 +94,10 @@ DramCache::insert(Addr line_base, TxId tx)
             // write must first reach in-place NVM or it would be lost
             // on abort of the new transaction.
             ++_stats.writeBacks;
+            if (_probe) {
+                _probe->notifyPersist(PersistPoint::DramCacheWriteback,
+                                      e->tag, 0, e->data.data());
+            }
             if (_writeBack)
                 _writeBack(e->tag, e->data);
             e->dirty = false;
@@ -188,6 +200,10 @@ DramCache::flushAll()
     for (auto &e : _entries) {
         if (e.valid && !e.invalidated && e.tx == kNoTx && e.dirty) {
             ++_stats.writeBacks;
+            if (_probe) {
+                _probe->notifyPersist(PersistPoint::DramCacheWriteback,
+                                      e.tag, 0, e.data.data());
+            }
             if (_writeBack)
                 _writeBack(e.tag, e.data);
             e.dirty = false;

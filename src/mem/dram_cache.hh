@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/persist_probe.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -75,6 +76,9 @@ class DramCache
 
     /** Install the in-place write-back hook. */
     void setWriteBack(WriteBackFn fn) { _writeBack = std::move(fn); }
+
+    /** Attach a persistence probe (write-backs and drops). */
+    void setProbe(PersistProbe *probe) { _probe = probe; }
 
     /** Find a live entry (valid and not invalidated). Counts hit/miss. */
     DramCacheEntry *lookup(Addr line_base);
@@ -142,6 +146,7 @@ class DramCache
     std::vector<DramCacheEntry> _entries;
     std::uint64_t _lruClock = 0;
     WriteBackFn _writeBack;
+    PersistProbe *_probe = nullptr;
     Stats _stats;
 };
 

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/persist_probe.hh"
 #include "mem/backing_store.hh"
 #include "sim/types.hh"
 
@@ -52,6 +53,10 @@ class RedoLogArea
         std::uint64_t reclaimed = 0;
         std::uint64_t peakBytes = 0;
         std::uint64_t replayedEntries = 0;
+        /** Records of committed-durable transactions whose own log
+         *  write had not completed at the crash (torn records). A
+         *  correct commit protocol never produces these. */
+        std::uint64_t tornEntries = 0;
     };
 
     explicit RedoLogArea(std::uint64_t capacity_bytes)
@@ -79,6 +84,12 @@ class RedoLogArea
             e.newData = new_data;
             e.durableAt = std::max(e.durableAt, durable_at);
             ++_stats.coalesced;
+            // Coalesced writes still go through the log buffer: they
+            // are persistence-ordering points like fresh appends.
+            if (_probe) {
+                _probe->notifyPersist(PersistPoint::RedoLogAppend, line,
+                                      e.durableAt, new_data.data());
+            }
             return false;
         }
         txlog.lines.emplace(line, txlog.entries.size());
@@ -86,6 +97,10 @@ class RedoLogArea
         ++_stats.appends;
         _bytes += kEntryBytes;
         _stats.peakBytes = std::max(_stats.peakBytes, _bytes);
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::RedoLogAppend, line,
+                                  durable_at, new_data.data());
+        }
         return true;
     }
 
@@ -136,6 +151,10 @@ class RedoLogArea
         it->second.commitSeq = _nextCommitSeq++;
         it->second.commitDurableAt = commit_durable_at;
         ++_stats.commits;
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::CommitMark, 0,
+                                  commit_durable_at, nullptr);
+        }
     }
 
     /**
@@ -188,6 +207,14 @@ class RedoLogArea
      * Crash recovery: replay onto @p durable_image every record of every
      * transaction whose commit record was durable by @p crash_tick, in
      * commit order. Uncommitted and aborted logs are disregarded.
+     *
+     * A record whose own async log write had not completed by the crash
+     * is torn: real recovery would find a partially written (invalid)
+     * record, so the entry is skipped and counted. A correct commit
+     * protocol never reaches this case because the commit record waits
+     * for the whole log to drain first (Section IV-C); the crash-sweep
+     * oracle relies on the skip to expose broken commit-mark ordering.
+     *
      * @return number of transactions replayed.
      */
     std::size_t
@@ -206,11 +233,54 @@ class RedoLogArea
                   });
         for (const TxLog *log : order) {
             for (const RedoEntry &e : log->entries) {
+                if (e.durableAt > crash_tick) {
+                    ++_stats.tornEntries;
+                    continue;
+                }
                 durable_image.writeLine(e.line, e.newData.data());
                 ++_stats.replayedEntries;
             }
         }
         return order.size();
+    }
+
+    /**
+     * Single-line crash recovery: the post-replay image of @p line for
+     * a crash at @p crash_tick, starting from @p durable_image. Follows
+     * exactly the semantics of replayCommitted() but touches only one
+     * line, which lets the crash-sweep oracle check hundreds of crash
+     * points without copying the whole durable image each time.
+     * @retval true a committed-durable record was replayed onto @p out.
+     * @retval false @p out holds the durable in-place image unchanged.
+     */
+    bool
+    recoverLine(const BackingStore &durable_image, Addr line,
+                Tick crash_tick,
+                std::array<std::uint8_t, kLineBytes> &out) const
+    {
+        durable_image.readLine(line, out.data());
+        const TxLog *last = nullptr;
+        const RedoEntry *last_entry = nullptr;
+        for (const auto &[tx, log] : _logs) {
+            if (!log.committed || log.aborted ||
+                log.commitDurableAt > crash_tick) {
+                continue;
+            }
+            auto it = log.lines.find(line);
+            if (it == log.lines.end())
+                continue;
+            const RedoEntry &e = log.entries[it->second];
+            if (e.durableAt > crash_tick)
+                continue; // torn record, skipped by replay
+            if (!last || log.commitSeq > last->commitSeq) {
+                last = &log;
+                last_entry = &e;
+            }
+        }
+        if (!last_entry)
+            return false;
+        out = last_entry->newData;
+        return true;
     }
 
     std::uint64_t bytesUsed() const { return _bytes; }
@@ -221,6 +291,9 @@ class RedoLogArea
 
     /** Reserved capacity in bytes. */
     std::uint64_t capacity() const { return _capacity; }
+
+    /** Attach a persistence probe (appends and commit records). */
+    void setProbe(PersistProbe *probe) { _probe = probe; }
 
     const Stats &stats() const { return _stats; }
 
@@ -251,6 +324,7 @@ class RedoLogArea
     std::uint64_t _nextCommitSeq = 1;
     std::unordered_map<TxId, TxLog> _logs;
     Stats _stats;
+    PersistProbe *_probe = nullptr;
 };
 
 } // namespace uhtm

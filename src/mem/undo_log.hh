@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/persist_probe.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -77,6 +78,10 @@ class UndoLogArea
         _bytes += kEntryBytes;
         if (_bytes > _stats.peakBytes)
             _stats.peakBytes = _bytes;
+        if (_probe) {
+            _probe->notifyPersist(PersistPoint::UndoLogAppend, line, 0,
+                                  old_data.data());
+        }
         return true;
     }
 
@@ -104,6 +109,9 @@ class UndoLogArea
     commit(TxId tx)
     {
         ++_stats.commitMarks;
+        if (_probe)
+            _probe->notifyPersist(PersistPoint::UndoCommitMark, 0, 0,
+                                  nullptr);
         reclaim(tx);
     }
 
@@ -121,6 +129,12 @@ class UndoLogArea
             _stats.restores += out.size();
         }
         reclaim(tx);
+        if (_probe) {
+            for (const UndoEntry &e : out) {
+                _probe->notifyPersist(PersistPoint::UndoCopyBack, e.line,
+                                      0, e.oldData.data());
+            }
+        }
         return out;
     }
 
@@ -139,6 +153,9 @@ class UndoLogArea
 
     /** True if an append would exceed the reserved area. */
     bool full() const { return _bytes + kEntryBytes > _capacity; }
+
+    /** Attach a persistence probe (appends, marks, copy-backs). */
+    void setProbe(PersistProbe *probe) { _probe = probe; }
 
     const Stats &stats() const { return _stats; }
 
@@ -176,6 +193,7 @@ class UndoLogArea
     std::uint64_t _bytes = 0;
     std::unordered_map<TxId, TxLog> _logs;
     Stats _stats;
+    PersistProbe *_probe = nullptr;
 };
 
 } // namespace uhtm

@@ -63,6 +63,20 @@ class EventQueue
         return when;
     }
 
+    /**
+     * Request that the driving loop stop before executing the next
+     * event (the crash "event": a simulated power failure freezes the
+     * machine at the current tick). Pending events stay queued so state
+     * can be inspected; clearStop() re-arms the loops.
+     */
+    void requestStop() { _stopRequested = true; }
+
+    /** True if a stop has been requested and not yet cleared. */
+    bool stopRequested() const { return _stopRequested; }
+
+    /** Re-arm the run loops after a requested stop. */
+    void clearStop() { _stopRequested = false; }
+
     /** True if no events remain. */
     bool empty() const { return _heap.empty(); }
 
@@ -92,35 +106,38 @@ class EventQueue
         return true;
     }
 
-    /** Run until the queue drains. */
+    /** Run until the queue drains (or a stop is requested). */
     void
     run()
     {
-        while (step()) {
+        while (!_stopRequested && step()) {
         }
     }
 
     /**
-     * Run until the queue drains or simulated time would exceed
-     * @p limit. Events at exactly @p limit still execute.
+     * Run until the queue drains, simulated time would exceed
+     * @p limit, or a stop is requested. Events at exactly @p limit
+     * still execute.
      */
     void
     runUntil(Tick limit)
     {
-        while (!_heap.empty() && _heap.top().when <= limit)
+        while (!_stopRequested && !_heap.empty() &&
+               _heap.top().when <= limit) {
             step();
+        }
         if (_now < limit && _heap.empty())
             _now = limit;
     }
 
     /**
-     * Run until @p done returns true or the queue drains.
-     * The predicate is checked after every event.
+     * Run until @p done returns true, the queue drains, or a stop is
+     * requested. The predicate is checked after every event.
      */
     void
     runWhile(const std::function<bool()> &keep_going)
     {
-        while (keep_going() && step()) {
+        while (!_stopRequested && keep_going() && step()) {
         }
     }
 
@@ -144,6 +161,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    bool _stopRequested = false;
 };
 
 } // namespace uhtm

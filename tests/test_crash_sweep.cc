@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Crash-point sweep tests: exhaustive enumeration of the machine's
+ * persistence-ordering points on the hybrid KV and B+tree workloads,
+ * with the CrashOracle's durability / atomicity / rollback invariants
+ * checked at every point; a deliberately broken commit-mark ordering
+ * must be caught and shrink to a replayable crash point; replays are
+ * deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/crash_sweep.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+std::string
+describe(const CrashSweepResult &res, std::size_t limit = 5)
+{
+    std::string s;
+    std::size_t n = 0;
+    for (const auto &v : res.violations) {
+        if (n++ >= limit) {
+            s += "  ...\n";
+            break;
+        }
+        s += "  point=" + std::to_string(v.pointIndex) + " " + v.kind +
+             ": " + v.detail + "\n";
+    }
+    return s;
+}
+
+TEST(CrashSweep, KvHybridEveryPointSatisfiesOracles)
+{
+    CrashSweepConfig cfg;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult res = runner.sweep();
+
+    // Acceptance: the schedule is dense (>= 200 distinct points) and
+    // covers the interesting kinds.
+    EXPECT_GE(res.points, 200u);
+    EXPECT_GT(res.linesTracked, 0u);
+    using P = PersistPoint;
+    EXPECT_GT(res.pointsByKind[static_cast<std::size_t>(P::RedoLogAppend)],
+              0u);
+    EXPECT_GT(res.pointsByKind[static_cast<std::size_t>(P::CommitMark)],
+              0u);
+    EXPECT_GT(
+        res.pointsByKind[static_cast<std::size_t>(P::InPlaceNvmWrite)],
+        0u);
+
+    EXPECT_TRUE(res.passed()) << res.violations.size()
+                              << " violations:\n" << describe(res);
+}
+
+TEST(CrashSweep, KvHybridUnderCachePressure)
+{
+    // Shrink the LLC and DRAM cache so transactional lines overflow:
+    // exercises undo logging, early eviction and uncommitted drops.
+    CrashSweepConfig cfg;
+    cfg.mcfg.llcBytes = KiB(16);
+    cfg.mcfg.dramCacheBytes = KiB(16);
+    cfg.seed = 3;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult res = runner.sweep();
+
+    EXPECT_GE(res.points, 200u);
+    EXPECT_TRUE(res.passed()) << describe(res);
+}
+
+TEST(CrashSweep, BTreeEveryPointSatisfiesOracles)
+{
+    CrashSweepConfig cfg;
+    cfg.seed = 2;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::btreeWorkload());
+    const CrashSweepResult res = runner.sweep();
+
+    EXPECT_GE(res.points, 200u);
+    EXPECT_GT(res.linesTracked, 0u);
+    EXPECT_TRUE(res.passed()) << describe(res);
+}
+
+TEST(CrashSweep, ReplayIsDeterministic)
+{
+    CrashSweepConfig cfg;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult swept = runner.sweep();
+    ASSERT_GT(swept.points, 200u);
+
+    // Replaying the same crash point twice freezes the machine at the
+    // same tick with the same schedule prefix and the same verdict.
+    const std::uint64_t k = swept.points / 2;
+    const CrashSweepResult a = runner.replay(k);
+    const CrashSweepResult b = runner.replay(k);
+    EXPECT_GT(a.crashTick, 0u);
+    EXPECT_EQ(a.crashTick, b.crashTick);
+    EXPECT_EQ(a.points, b.points);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+    EXPECT_TRUE(a.passed()) << describe(a);
+
+    // The replayed prefix matches the sweep's schedule tick-for-tick.
+    EXPECT_LE(a.points, swept.points);
+}
+
+TEST(CrashSweep, ReplayEveryEarlyPointPasses)
+{
+    // Real-crash spot checks (full machine freeze + full-image oracle)
+    // across the schedule, not just the sweep's in-run checks.
+    CrashSweepConfig cfg;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult swept = runner.sweep();
+    ASSERT_TRUE(swept.passed()) << describe(swept);
+
+    for (std::uint64_t k = 1; k < swept.points; k = k * 2 + 7) {
+        const CrashSweepResult rep = runner.replay(k);
+        EXPECT_TRUE(rep.passed())
+            << "crash at point " << k << ":\n" << describe(rep);
+    }
+}
+
+TEST(CrashSweep, BrokenCommitMarkOrderingIsCaught)
+{
+    // The guarded test-only toggle issues the commit mark without
+    // waiting for the redo log to drain; a crash inside the resulting
+    // window finds a durable commit record with torn member records.
+    CrashSweepConfig cfg;
+    cfg.breakCommitMarkOrdering = true;
+    CrashSweepRunner runner(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult res = runner.sweep();
+
+    ASSERT_FALSE(res.passed())
+        << "the oracle must detect broken commit-mark ordering";
+    bool durability = false;
+    for (const auto &v : res.violations)
+        durability |= std::string(v.kind) == "durability";
+    EXPECT_TRUE(durability)
+        << "torn-log windows are durability violations:\n"
+        << describe(res);
+
+    // Shrink to a minimal reproducing schedule and confirm by replay.
+    const std::uint64_t k = runner.shrink(res);
+    ASSERT_NE(k, CrashOracle::kNoPoint);
+    EXPECT_EQ(k, res.minFailingPoint())
+        << "the smallest flagged point must reproduce under replay";
+    const CrashSweepResult rep = runner.replay(k);
+    EXPECT_FALSE(rep.passed());
+
+    // The same schedule with the toggle off is clean.
+    cfg.breakCommitMarkOrdering = false;
+    CrashSweepRunner fixed(cfg, CrashSweepRunner::kvHybridWorkload());
+    EXPECT_TRUE(fixed.sweep().passed());
+}
+
+TEST(CrashSweep, SweepTracksTornEntriesOnlyWhenBroken)
+{
+    // Indirect probe of the replay semantics: a correct run never
+    // produces torn records (commit marks wait for the log to drain).
+    CrashSweepConfig cfg;
+    CrashSweepRunner good(cfg, CrashSweepRunner::kvHybridWorkload());
+    const CrashSweepResult res = good.sweep();
+    EXPECT_TRUE(res.passed()) << describe(res);
+
+    cfg.breakCommitMarkOrdering = true;
+    CrashSweepRunner bad(cfg, CrashSweepRunner::kvHybridWorkload());
+    EXPECT_FALSE(bad.sweep().passed());
+}
+
+} // namespace
+} // namespace uhtm

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "check/fault_injector.hh"
+#include "htm/tx_context.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
 #include "mem/dram_cache.hh"
@@ -237,6 +241,180 @@ TEST(DramCache, EvictionWritesBackOnlyCommittedDirty)
     EXPECT_EQ(dc.stats().uncommittedDrops, 1u)
         << "a set full of uncommitted entries must still make room";
     EXPECT_EQ(writebacks, 1) << "dropped entries write nothing in place";
+}
+
+/** Probe recording every persistence-ordering notification. */
+struct RecordingProbe : PersistProbe
+{
+    struct Rec
+    {
+        PersistPoint point;
+        Addr line;
+        bool hadBytes;
+        std::uint8_t firstByte;
+    };
+    std::vector<Rec> recs;
+
+    void
+    notifyPersist(PersistPoint point, Addr line, Tick,
+                  const std::uint8_t *bytes) override
+    {
+        recs.push_back({point, line, bytes != nullptr,
+                        bytes ? bytes[0] : std::uint8_t{0}});
+    }
+
+    std::size_t
+    countOf(PersistPoint p) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : recs)
+            n += r.point == p;
+        return n;
+    }
+};
+
+TEST(DramCache, EvictingDirtyTxLineMidTransactionDropsWithNotify)
+{
+    // A set full of *uncommitted* transactional entries forced to make
+    // room must drop an entry (its bytes stay recoverable from the redo
+    // log) and announce the drop to the probe -- with no bytes and no
+    // in-place write-back, which would leak speculative data to NVM.
+    DramCache dc(4 * kLineBytes, 2); // 2 sets x 2 ways
+    RecordingProbe probe;
+    dc.setProbe(&probe);
+    int writebacks = 0;
+    dc.setWriteBack(
+        [&](Addr, const std::array<std::uint8_t, kLineBytes> &) {
+            ++writebacks;
+        });
+
+    const Addr base = 0x400000000000ull;
+    const Addr stride = 2 * kLineBytes; // same set
+    dc.insert(base, 1);
+    dc.insert(base + stride, 2);
+    dc.insert(base + 2 * stride, 3); // overflow: must drop the LRU
+    EXPECT_EQ(dc.stats().uncommittedDrops, 1u);
+    ASSERT_EQ(probe.countOf(PersistPoint::DramCacheDrop), 1u);
+    EXPECT_EQ(probe.recs[0].line, base) << "LRU uncommitted entry";
+    EXPECT_FALSE(probe.recs[0].hadBytes)
+        << "drops carry no data towards NVM";
+    EXPECT_EQ(writebacks, 0)
+        << "speculative bytes must never be written back in place";
+
+    // Aborted (invalidated) entries are reclaimed silently: no probe
+    // notification, no write-back, no drop accounting.
+    dc.abortTx(2);
+    probe.recs.clear();
+    dc.insert(base + 3 * stride, 4);
+    EXPECT_TRUE(probe.recs.empty())
+        << "invalidated victims vanish without a persistence event";
+    EXPECT_EQ(dc.stats().uncommittedDrops, 1u);
+    EXPECT_EQ(writebacks, 0);
+}
+
+TEST(DramCache, SupersedingCommittedEntryWritesBackOldDataFirst)
+{
+    // A new speculative write landing on a committed-dirty entry for
+    // the same line must push the committed bytes to in-place NVM
+    // before the entry is reused, or an abort of the new transaction
+    // would lose them.
+    DramCache dc(KiB(64), 4);
+    RecordingProbe probe;
+    dc.setProbe(&probe);
+    Addr wb_line = 0;
+    std::array<std::uint8_t, kLineBytes> wb_data{};
+    dc.setWriteBack([&](Addr line,
+                        const std::array<std::uint8_t, kLineBytes> &d) {
+        wb_line = line;
+        wb_data = d;
+    });
+
+    const Addr line = 0x400000000000ull;
+    dc.insert(line, 5);
+    std::array<std::uint8_t, kLineBytes> committed{};
+    committed[0] = 0xaa;
+    ASSERT_TRUE(dc.commitEntry(line, 5, committed));
+
+    DramCacheEntry *e = dc.insert(line, /*tx=*/9); // supersede
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->tx, 9u);
+    EXPECT_FALSE(e->dirty);
+    ASSERT_EQ(probe.countOf(PersistPoint::DramCacheWriteback), 1u);
+    EXPECT_EQ(probe.recs[0].firstByte, 0xaa)
+        << "the notification must carry the *old* committed image";
+    EXPECT_EQ(wb_line, line);
+    EXPECT_EQ(wb_data[0], 0xaa);
+}
+
+TEST(DramCache, LazyInPlaceNvmUpdateOrdersAfterCommitMark)
+{
+    // End-to-end ordering property of the lazy update scheme (paper
+    // Section IV-C): a committed transaction's NVM lines stay in the
+    // DRAM cache past commit, and when they are finally written in
+    // place every such write completes strictly after the transaction's
+    // redo-log commit record became durable.
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), HtmPolicy::uhtmOpt(512));
+    FaultInjector fi(eq);
+    sys.setFaultInjector(&fi);
+    const DomainId dom = sys.createDomain("p0");
+
+    const Addr base = MemLayout::kNvmBase + MiB(4);
+    constexpr int kLines = 4;
+    TxContext ctx(sys, 0, dom, 1);
+    auto driver = [&]() -> Task {
+        co_await ctx.run([&](TxContext &c) -> CoTask<void> {
+            for (int i = 0; i < kLines; ++i)
+                co_await c.write64(base + i * kLineBytes,
+                                   0xc0ffee00u + i);
+        });
+    };
+    Task t = driver();
+    t.start();
+    eq.run();
+
+    Tick commit_at = 0;
+    for (const auto &ev : fi.events())
+        if (ev.point == PersistPoint::CommitMark)
+            commit_at = std::max(commit_at, ev.completeAt);
+    ASSERT_GT(commit_at, 0u) << "transaction must have committed";
+
+    // Every redo-log record was durable no later than the commit mark.
+    EXPECT_GE(fi.countOf(PersistPoint::RedoLogAppend),
+              static_cast<std::uint64_t>(kLines));
+    for (const auto &ev : fi.events()) {
+        if (ev.point == PersistPoint::RedoLogAppend) {
+            EXPECT_LE(ev.completeAt, commit_at);
+        }
+    }
+
+    // Laziness: commit alone performs no in-place NVM update; the
+    // committed image lives in the DRAM cache, the durable image is
+    // still stale, and the architectural store already has the data.
+    EXPECT_EQ(fi.countOf(PersistPoint::InPlaceNvmWrite), 0u);
+    EXPECT_EQ(sys.durableNvm().read64(base), 0u);
+    EXPECT_EQ(sys.store().read64(base), 0xc0ffee00u);
+    EXPECT_NE(sys.dramCache().peek(base), nullptr);
+
+    // Drain the cache: the write-backs become in-place NVM writes and
+    // each one completes strictly after the commit record.
+    sys.dramCache().flushAll();
+    eq.run();
+    EXPECT_GE(fi.countOf(PersistPoint::DramCacheWriteback),
+              static_cast<std::uint64_t>(kLines));
+    ASSERT_GE(fi.countOf(PersistPoint::InPlaceNvmWrite),
+              static_cast<std::uint64_t>(kLines));
+    for (const auto &ev : fi.events()) {
+        if (ev.point == PersistPoint::InPlaceNvmWrite) {
+            EXPECT_GT(ev.completeAt, commit_at)
+                << "in-place update may never pass the commit mark";
+        }
+    }
+    for (int i = 0; i < kLines; ++i)
+        EXPECT_EQ(sys.durableNvm().read64(base + i * kLineBytes),
+                  0xc0ffee00u + i);
+
+    sys.setFaultInjector(nullptr);
 }
 
 } // namespace
