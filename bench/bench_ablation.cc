@@ -1,126 +1,17 @@
 /**
  * @file
  * Ablations of UHTM design choices beyond the paper's own sweeps
- * (DESIGN.md Section 4):
+ * (DESIGN.md Section 4): transaction-aware LLC replacement,
+ * background-application count, and signature hash-function count.
  *
- *  1. Transaction-aware LLC replacement (prefer non-transactional
- *     victims) — a hardware knob the paper does not evaluate; shows
- *     how much of the overflow pressure is replacement-policy induced.
- *  2. Background-application count (0/1/2/4 hogs) — sensitivity of the
- *     consolidation pressure that drives Figs. 2/6/7.
- *  3. Overflow-list walk batching — commit/abort latency vs the number
- *     of list entries fetched per DRAM access.
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench ablation` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
-
-namespace
-{
-
-RunMetrics
-runOnce(const MachineConfig &machine, const HtmPolicy &policy,
-        const ConsolidationOpts &opts, std::uint64_t tx_per_worker)
-{
-    std::vector<PmdkParams> benches;
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-    for (IndexKind kind : kinds) {
-        PmdkParams p;
-        p.kind = kind;
-        p.placement = MemKind::Nvm;
-        p.footprintBytes = KiB(200);
-        p.txPerWorker = tx_per_worker;
-        p.seed = 42;
-        benches.push_back(p);
-    }
-    return runPmdkConsolidated(machine, policy, benches, opts);
-}
-
-} // namespace
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    std::uint64_t tx = 5;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--tx=", 0) == 0)
-            tx = std::strtoull(arg.c_str() + 5, nullptr, 10);
-        if (arg == "--quick")
-            tx = 3;
-    }
-
-    printBanner("Ablation 1: tx-aware LLC replacement "
-                "(UHTM 2k_opt, 200KB footprints, 2 hogs)");
-    {
-        Table table({"replacement", "ops/s", "overflowed txs", "abort%"});
-        for (bool aware : {false, true}) {
-            MachineConfig machine;
-            machine.cores = 18;
-            machine.txAwareReplacement = aware;
-            ConsolidationOpts opts;
-            const RunMetrics m =
-                runOnce(machine, HtmPolicy::uhtmOpt(2048), opts, tx);
-            table.addRow({aware ? "prefer non-tx victims" : "plain LRU",
-                          Table::num(m.opsPerSec, 0),
-                          std::to_string(static_cast<unsigned long>(
-                              m.htm.overflowedTxs)),
-                          Table::pct(m.abortRate)});
-        }
-        table.print();
-    }
-
-    printBanner("Ablation 2: background-application count "
-                "(LLC-Bounded vs UHTM 2k_opt)");
-    {
-        Table table({"hogs", "bounded ops/s", "uhtm ops/s", "uhtm/bounded",
-                     "bounded capacity"});
-        for (unsigned hogs : {0u, 1u, 2u, 4u}) {
-            MachineConfig machine;
-            machine.cores = 16 + hogs;
-            ConsolidationOpts opts;
-            opts.hogs = hogs;
-            const RunMetrics b =
-                runOnce(machine, HtmPolicy::llcBounded(), opts, tx);
-            const RunMetrics u =
-                runOnce(machine, HtmPolicy::uhtmOpt(2048), opts, tx);
-            table.addRow({std::to_string(hogs), Table::num(b.opsPerSec, 0),
-                          Table::num(u.opsPerSec, 0),
-                          Table::num(u.opsPerSec /
-                                         std::max(1.0, b.opsPerSec),
-                                     2),
-                          std::to_string(static_cast<unsigned long>(
-                              b.htm.abortsOf(AbortCause::Capacity)))});
-        }
-        table.print();
-    }
-
-    printBanner("Ablation 3: signature hash-function count "
-                "(2k-bit signatures)");
-    {
-        Table table({"hashes", "ops/s", "abort%", "false-positive aborts"});
-        for (unsigned hashes : {2u, 4u, 8u}) {
-            MachineConfig machine;
-            machine.cores = 18;
-            HtmPolicy pol = HtmPolicy::uhtmOpt(2048);
-            pol.signatureHashes = hashes;
-            ConsolidationOpts opts;
-            const RunMetrics m = runOnce(machine, pol, opts, tx);
-            table.addRow(
-                {std::to_string(hashes), Table::num(m.opsPerSec, 0),
-                 Table::pct(m.abortRate),
-                 std::to_string(static_cast<unsigned long>(
-                     m.htm.abortsOf(AbortCause::FalsePositive) +
-                     m.htm.abortsOf(AbortCause::CrossDomainFalse)))});
-        }
-        table.print();
-    }
-    return 0;
+    return uhtm::benchMain("ablation", argc, argv);
 }

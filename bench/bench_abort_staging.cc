@@ -2,86 +2,17 @@
  * @file
  * Paper Section IV-D staging claim: the abort rate of durable
  * transactions drops from >99% (signatures checked on all coherence
- * traffic, holding full read/write sets — Bulk/LogTM-SE style) to ~26%
- * (UHTM: signatures hold only LLC-overflowed lines and only LLC-miss
- * requests are checked) to ~9% (adding conflict-domain signature
- * isolation).
+ * traffic) to ~26% (UHTM: only LLC-overflowed lines, only LLC-miss
+ * checks) to ~9% (adding conflict-domain signature isolation).
+ *
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench staging` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-#include <vector>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    std::uint64_t tx_per_worker = 6;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_worker = std::strtoull(arg.c_str() + 5, nullptr, 10);
-        if (arg == "--quick")
-            tx_per_worker = 3;
-    }
-
-    MachineConfig machine;
-    machine.cores = 18;
-
-    std::vector<SystemVariant> systems = {
-        {"check-all-traffic", HtmPolicy::signatureOnly(2048)},
-        {"LLC-miss-only", HtmPolicy::uhtmSig(2048)},
-        {"+isolation", HtmPolicy::uhtmOpt(2048)},
-        {"Ideal(precise)", HtmPolicy::ideal()},
-    };
-
-    printBanner("Staged conflict detection: abort-rate reduction "
-                "(Section IV-D, 100KB footprints; paper: 99% -> 26% -> 9%)");
-
-    Table table({"detection", "abort%", "FP", "cross-dom", "true",
-                 "capacity", "lock", "serialized", "ops/s"});
-
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-    for (const auto &sysv : systems) {
-        std::vector<PmdkParams> benches;
-        for (IndexKind kind : kinds) {
-            PmdkParams p;
-            p.kind = kind;
-            p.placement = MemKind::Nvm;
-            p.footprintBytes = KiB(100);
-            p.txPerWorker = tx_per_worker;
-            p.seed = 42;
-            benches.push_back(p);
-        }
-        ConsolidationOpts opts;
-        opts.workersPerBench = 4;
-        opts.hogs = 2;
-        const RunMetrics m =
-            runPmdkConsolidated(machine, sysv.policy, benches, opts);
-        const auto &h = m.htm;
-        auto count = [&](AbortCause c) {
-            return std::to_string(
-                static_cast<unsigned long>(h.abortsOf(c)));
-        };
-        table.addRow(
-            {sysv.label, Table::pct(m.abortRate),
-             count(AbortCause::FalsePositive),
-             count(AbortCause::CrossDomainFalse),
-             std::to_string(static_cast<unsigned long>(
-                 h.abortsOf(AbortCause::TrueConflictOnChip) +
-                 h.abortsOf(AbortCause::TrueConflictOffChip))),
-             count(AbortCause::Capacity),
-             count(AbortCause::LockPreempt),
-             std::to_string(
-                 static_cast<unsigned long>(h.serializedCommits)),
-             Table::num(m.opsPerSec, 0)});
-    }
-    table.print();
-    return 0;
+    return uhtm::benchMain("staging", argc, argv);
 }

@@ -1,109 +1,18 @@
 /**
  * @file
  * Paper Figure 10: undo versus redo logging for LLC-overflowed DRAM
- * lines in volatile (DRAM-only) transactions.
+ * lines in volatile (DRAM-only) transactions. Undo commits fast but
+ * pays on abort; redo commits slowly and pays a read indirection on
+ * every access to an overflowed line.
  *
- * Undo commits fast (one commit mark) but pays on abort; redo commits
- * slowly (copy every logged value in place) and pays a read
- * indirection on every access to an overflowed line. The paper finds
- * undo ahead by 7.5% at low overflow rates, growing to 44.7% as
- * overflows become frequent. Results are averaged over 512b/1k/4k
- * signatures with the isolation optimization, as in the paper.
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig10` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-#include <vector>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    std::uint64_t tx_per_worker = 6;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--quick")
-            quick = true;
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_worker = std::strtoull(arg.c_str() + 5, nullptr, 10);
-    }
-
-    MachineConfig machine;
-    machine.cores = 18;
-
-    std::vector<std::uint64_t> footprints =
-        quick ? std::vector<std::uint64_t>{KiB(300), KiB(1200)}
-              : std::vector<std::uint64_t>{KiB(300), KiB(600), KiB(900),
-                                           KiB(1200)};
-    std::vector<unsigned> sig_sizes =
-        quick ? std::vector<unsigned>{2048}
-              : std::vector<unsigned>{512, 1024, 4096};
-
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-
-    printBanner("Figure 10: volatile transactions — undo vs redo "
-                "logging for overflowed DRAM lines");
-
-    Table table({"footprint", "undo ops/s", "redo ops/s", "undo/redo",
-                 "overflowed txs", "undo commit us", "redo commit us"});
-
-    for (std::uint64_t fp : footprints) {
-        double undo_ops = 0, redo_ops = 0;
-        double undo_commit_us = 0, redo_commit_us = 0;
-        std::uint64_t overflowed = 0;
-        for (unsigned bits : sig_sizes) {
-            for (DramOverflowLog mode :
-                 {DramOverflowLog::Undo, DramOverflowLog::Redo}) {
-                HtmPolicy pol = HtmPolicy::uhtmOpt(bits);
-                pol.dramLog = mode;
-                std::vector<PmdkParams> benches;
-                for (IndexKind kind : kinds) {
-                    PmdkParams p;
-                    p.kind = kind;
-                    p.placement = MemKind::Dram; // volatile run
-                    p.updateFraction = 1.0; // isolate logging (no conflict noise)
-                    p.footprintBytes = fp;
-                    p.txPerWorker = tx_per_worker;
-                    p.seed = 42;
-                    benches.push_back(p);
-                }
-                ConsolidationOpts opts;
-                opts.workersPerBench = 4;
-                opts.hogs = 0; // spill comes from the 16 workers themselves
-                const RunMetrics m =
-                    runPmdkConsolidated(machine, pol, benches, opts);
-                if (mode == DramOverflowLog::Undo) {
-                    undo_ops += m.opsPerSec;
-                    undo_commit_us +=
-                        m.htm.commitProtocolNs.mean() / 1000.0;
-                    overflowed += m.htm.overflowedTxs;
-                } else {
-                    redo_ops += m.opsPerSec;
-                    redo_commit_us +=
-                        m.htm.commitProtocolNs.mean() / 1000.0;
-                }
-            }
-        }
-        const double n = static_cast<double>(sig_sizes.size());
-        table.addRow({std::to_string(fp / 1024) + "KB",
-                      Table::num(undo_ops / n, 0),
-                      Table::num(redo_ops / n, 0),
-                      Table::num(undo_ops / std::max(1.0, redo_ops), 2),
-                      std::to_string(static_cast<unsigned long>(
-                          overflowed / sig_sizes.size())),
-                      Table::num(undo_commit_us / n, 1),
-                      Table::num(redo_commit_us / n, 1)});
-    }
-    table.print();
-    std::printf("\nPaper shape: undo ahead of redo, and the gap widens "
-                "as overflows become frequent (7.5%% at 300KB up to "
-                "44.7%%).\n");
-    return 0;
+    return uhtm::benchMain("fig10", argc, argv);
 }

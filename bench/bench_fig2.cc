@@ -5,93 +5,14 @@
  * two memory-intensive applications. The paper observes LLC-Bounded
  * up to 6.2x slower than Ideal.
  *
- * Output: one row per benchmark with both throughputs and the Ideal /
- * Bounded speedup.
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig2` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    // --ops=N overrides committed operations per worker (default 6).
-    std::uint64_t ops = 6;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--ops=", 0) == 0)
-            ops = std::strtoull(arg.c_str() + 6, nullptr, 10);
-    }
-
-    MachineConfig machine;
-    machine.cores = 18; // 16 worker threads + 2 background hogs
-
-    printBanner("Figure 2: LLC-Bounded vs Ideal unbounded HTM "
-                "(16 threads + 2 LLC hogs, 100KB footprints)");
-
-    Table table({"benchmark", "bounded tx/s", "ideal tx/s",
-                 "ideal/bounded", "bounded abort%", "bounded capacity",
-                 "serialized"});
-
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-    for (IndexKind kind : kinds) {
-        PmdkParams params;
-        params.kind = kind;
-        params.placement = MemKind::Nvm;
-        params.footprintBytes = KiB(100);
-        params.txPerWorker = ops;
-        params.seed = 42;
-
-        ConsolidationOpts opts;
-        opts.workersPerBench = 16;
-        opts.hogs = 2;
-
-        const RunMetrics bounded = runPmdkConsolidated(
-            machine, HtmPolicy::llcBounded(), {params}, opts);
-        const RunMetrics ideal = runPmdkConsolidated(
-            machine, HtmPolicy::ideal(), {params}, opts);
-
-        table.addRow({indexKindName(kind), Table::num(bounded.txPerSec, 0),
-                      Table::num(ideal.txPerSec, 0),
-                      Table::num(ideal.txPerSec /
-                                     std::max(1.0, bounded.txPerSec),
-                                 2),
-                      Table::pct(bounded.abortRate),
-                      std::to_string(bounded.htm.abortsOf(
-                          AbortCause::Capacity)),
-                      std::to_string(bounded.htm.serializedCommits)});
-    }
-
-    // Echo with 1 master + 15 clients.
-    {
-        EchoParams params;
-        params.opsPerTx = 100; // ~100KB batches
-        params.txPerMaster = 8 * ops;
-        params.seed = 42;
-        const RunMetrics bounded =
-            runEcho(machine, HtmPolicy::llcBounded(), params, 15, 2, 42);
-        const RunMetrics ideal =
-            runEcho(machine, HtmPolicy::ideal(), params, 15, 2, 42);
-        table.addRow({"Echo", Table::num(bounded.txPerSec, 0),
-                      Table::num(ideal.txPerSec, 0),
-                      Table::num(ideal.txPerSec /
-                                     std::max(1.0, bounded.txPerSec),
-                                 2),
-                      Table::pct(bounded.abortRate),
-                      std::to_string(bounded.htm.abortsOf(
-                          AbortCause::Capacity)),
-                      std::to_string(bounded.htm.serializedCommits)});
-    }
-
-    table.print();
-    std::printf("\nPaper shape: LLC-Bounded up to 6.2x slower than Ideal; "
-                "HashMap (short transactions) shows little gap.\n");
-    return 0;
+    return uhtm::benchMain("fig2", argc, argv);
 }

@@ -2,105 +2,16 @@
  * @file
  * Paper Figure 6: throughput of the PMDK benchmarks and the Echo KV
  * store with 100KB-footprint durable transactions, normalized to the
- * LLC-Bounded HTM.
+ * LLC-Bounded HTM, across all five evaluated systems.
  *
- * Setup (paper Section V): four benchmarks with four threads each are
- * consolidated (one conflict domain per benchmark) together with two
- * memory-intensive background applications; Echo runs as one master
- * plus three clients. Systems: LLC-Bounded, Signature-Only, UHTM with
- * and without signature isolation, and the Ideal unbounded HTM.
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig6` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <map>
-#include <string>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    std::uint64_t tx_per_worker = 8;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_worker = std::strtoull(arg.c_str() + 5, nullptr, 10);
-        if (arg == "--quick")
-            tx_per_worker = 3;
-    }
-
-    MachineConfig machine;
-    machine.cores = 18; // 4 benchmarks x 4 threads + 2 hogs
-
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-
-    std::vector<SystemVariant> systems = {
-        {"LLC-Bounded", HtmPolicy::llcBounded()},
-        {"Sig-Only", HtmPolicy::signatureOnly(2048)},
-        {"2k_sig", HtmPolicy::uhtmSig(2048)},
-        {"2k_opt", HtmPolicy::uhtmOpt(2048)},
-        {"Ideal", HtmPolicy::ideal()},
-    };
-
-    printBanner("Figure 6: throughput normalized to LLC-Bounded "
-                "(4 benchmarks x 4 threads + 2 LLC hogs, 100KB "
-                "footprints, persistent data)");
-
-    // benchmark name -> system label -> ops/s
-    std::map<std::string, std::map<std::string, double>> results;
-
-    for (const auto &sysv : systems) {
-        std::vector<PmdkParams> benches;
-        for (IndexKind kind : kinds) {
-            PmdkParams p;
-            p.kind = kind;
-            p.placement = MemKind::Nvm;
-            p.footprintBytes = KiB(100);
-            p.txPerWorker = tx_per_worker;
-            p.seed = 42;
-            benches.push_back(p);
-        }
-        ConsolidationOpts opts;
-        opts.workersPerBench = 4;
-        opts.hogs = 2;
-        const RunMetrics m =
-            runPmdkConsolidated(machine, sysv.policy, benches, opts);
-        // Domains 0..3 are the benchmarks (created in order).
-        for (unsigned d = 0; d < 4; ++d)
-            results[indexKindName(kinds[d])][sysv.label] =
-                m.domainOpsPerSec(d);
-
-        EchoParams ep;
-        ep.opsPerTx = 100;
-        ep.txPerMaster = 4 * tx_per_worker;
-        ep.seed = 42;
-        const RunMetrics em = runEcho(machine, sysv.policy, ep, 3, 2, 42);
-        results["Echo"][sysv.label] = em.opsPerSec;
-    }
-
-    std::vector<std::string> headers = {"benchmark"};
-    for (const auto &sysv : systems)
-        headers.push_back(sysv.label);
-    Table table(headers);
-    for (const auto &[bench, by_system] : results) {
-        const double base = by_system.at("LLC-Bounded");
-        std::vector<std::string> row = {bench};
-        for (const auto &sysv : systems) {
-            const double v = by_system.at(sysv.label);
-            row.push_back(Table::num(base > 0 ? v / base : 0.0, 2) +
-                          " (" + Table::num(v, 0) + ")");
-        }
-        table.addRow(row);
-    }
-    table.print();
-    std::printf("\nCells: throughput normalized to LLC-Bounded "
-                "(absolute ops/s in parentheses).\n"
-                "Paper shape: Sig-Only worst; UHTM(opt) approaches "
-                "Ideal; HashMap shows little difference.\n");
-    return 0;
+    return uhtm::benchMain("fig6", argc, argv);
 }

@@ -1,109 +1,18 @@
 /**
  * @file
  * Paper Figure 7: abort rates of UHTM on the consolidated PMDK
- * benchmarks, decomposed by cause (true conflict, signature false
- * positive, cross-domain false positive, capacity), as the transaction
- * footprint grows from 100KB to 500KB and for signature sizes 512b,
- * 1kb and 4kb, with and without the conflict-domain isolation.
+ * benchmarks, decomposed by cause, as the transaction footprint grows
+ * from 100KB to 500KB and for signature sizes 512b/1kb/4kb, with and
+ * without the conflict-domain isolation.
+ *
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig7` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-#include <vector>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    std::uint64_t tx_per_worker = 6;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--quick")
-            quick = true;
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_worker = std::strtoull(arg.c_str() + 5, nullptr, 10);
-    }
-
-    MachineConfig machine;
-    machine.cores = 18;
-
-    std::vector<std::uint64_t> footprints =
-        quick ? std::vector<std::uint64_t>{KiB(100), KiB(500)}
-              : std::vector<std::uint64_t>{KiB(100), KiB(200), KiB(300),
-                                           KiB(400), KiB(500)};
-    std::vector<unsigned> sig_sizes = quick
-                                          ? std::vector<unsigned>{512, 4096}
-                                          : std::vector<unsigned>{512, 1024,
-                                                                  4096};
-
-    printBanner("Figure 7: UHTM abort-rate decomposition vs footprint "
-                "and signature size (4 benchmarks x 4 threads + 2 hogs)");
-
-    Table table({"footprint", "system", "abort%", "true", "false-pos",
-                 "cross-dom", "capacity", "lock", "sig-fill"});
-
-    const IndexKind kinds[] = {IndexKind::HashMap, IndexKind::BTree,
-                               IndexKind::RBTree, IndexKind::SkipList};
-
-    for (std::uint64_t fp : footprints) {
-        std::vector<SystemVariant> systems;
-        for (unsigned bits : sig_sizes) {
-            systems.push_back({std::to_string(bits) + "_sig",
-                               HtmPolicy::uhtmSig(bits)});
-            systems.push_back({std::to_string(bits) + "_opt",
-                               HtmPolicy::uhtmOpt(bits)});
-        }
-        for (const auto &sysv : systems) {
-            std::vector<PmdkParams> benches;
-            for (IndexKind kind : kinds) {
-                PmdkParams p;
-                p.kind = kind;
-                p.placement = MemKind::Nvm;
-                p.footprintBytes = fp;
-                p.txPerWorker = tx_per_worker;
-                p.seed = 42;
-                benches.push_back(p);
-            }
-            ConsolidationOpts opts;
-            opts.workersPerBench = 4;
-            opts.hogs = 2;
-            const RunMetrics m =
-                runPmdkConsolidated(machine, sysv.policy, benches, opts);
-            const auto &h = m.htm;
-            const double atot = static_cast<double>(h.totalAborts());
-            auto share = [&](AbortCause c) {
-                return atot > 0 ? Table::pct(h.abortsOf(c) / atot)
-                                : std::string("-");
-            };
-            const double true_aborts = static_cast<double>(
-                h.abortsOf(AbortCause::TrueConflictOnChip) +
-                h.abortsOf(AbortCause::TrueConflictOffChip));
-            table.addRow(
-                {std::to_string(fp / 1024) + "KB", sysv.label,
-                 Table::pct(m.abortRate),
-                 atot > 0 ? Table::pct(true_aborts / atot)
-                          : std::string("-"),
-                 share(AbortCause::FalsePositive),
-                 share(AbortCause::CrossDomainFalse),
-                 share(AbortCause::Capacity),
-                 share(AbortCause::LockPreempt),
-                 h.sigChecks
-                     ? Table::pct(static_cast<double>(h.sigFalseHits) /
-                                  static_cast<double>(h.sigChecks))
-                     : std::string("-")});
-        }
-    }
-    table.print();
-    std::printf("\nShares are fractions of all aborts (true on+off chip "
-                "merged into 'true' via on-chip column; sig-fill = "
-                "false-hit rate of signature checks).\n"
-                "Paper shape: abort rate grows with footprint; larger "
-                "signatures and isolation (_opt) cut false positives.\n");
-    return 0;
+    return uhtm::benchMain("fig7", argc, argv);
 }

@@ -1,95 +1,18 @@
 /**
  * @file
  * Paper Figure 8: Echo KV store throughput with long-running read-only
- * transactions.
- *
- * Normal master transactions are single 1KB puts; a configurable
- * fraction (0.5% .. 2%) are long-running read-only scans over randomly
- * selected KV pairs totalling tens of MB — far beyond every on-chip
- * cache, so the LLC-Bounded system overflows, wastes the executed
- * prefix and serializes, while UHTM completes them transactionally
+ * transactions whose scans exceed every on-chip cache — the bounded
+ * system overflows and serializes, UHTM completes them transactionally
  * (paper: 4.2x improvement at 0.5%).
+ *
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig8` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <string>
-#include <vector>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    std::uint64_t tx_per_master = 400;
-    std::uint64_t scan_mb = 24;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--quick")
-            quick = true;
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_master = std::strtoull(arg.c_str() + 5, nullptr, 10);
-        if (arg.rfind("--scanmb=", 0) == 0)
-            scan_mb = std::strtoull(arg.c_str() + 9, nullptr, 10);
-    }
-    if (quick) {
-        tx_per_master = 200;
-        scan_mb = 12;
-    }
-
-    MachineConfig machine;
-    machine.cores = 4; // 1 master + 3 clients (no hogs, per the paper)
-
-    const double fractions[] = {0.0, 0.005, 0.01, 0.02};
-    std::vector<SystemVariant> systems = {
-        {"LLC-Bounded", HtmPolicy::llcBounded()},
-        {"UHTM(2k_opt)", HtmPolicy::uhtmOpt(2048)},
-        {"Ideal", HtmPolicy::ideal()},
-    };
-
-    printBanner("Figure 8: Echo with long-running read-only "
-                "transactions (" + std::to_string(scan_mb) +
-                "MB scans, 1KB puts)");
-
-    Table table({"long-tx %", "system", "puts/s", "tx/s", "long commits",
-                 "capacity", "abort%"});
-    // base throughput of LLC-Bounded at each fraction for speedup line
-    for (double frac : fractions) {
-        double bounded_ops = 0;
-        for (const auto &sysv : systems) {
-            EchoParams p;
-            p.valueBytes = KiB(1);
-            p.opsPerTx = 1;
-            p.txPerMaster = tx_per_master;
-            p.longTxFraction = frac;
-            p.scanBytes = MiB(scan_mb);
-            p.prefillKeys = 16384;
-            p.prefillValueBytes = KiB(2);
-            p.seed = 42;
-            const RunMetrics m =
-                runEcho(machine, sysv.policy, p, 3, 0, 42);
-            if (sysv.label == "LLC-Bounded")
-                bounded_ops = m.opsPerSec;
-            std::string label = Table::num(m.opsPerSec, 0);
-            if (sysv.label != "LLC-Bounded" && bounded_ops > 0)
-                label += " (" + Table::num(m.opsPerSec / bounded_ops, 2) +
-                         "x)";
-            table.addRow({Table::pct(frac, 1), sysv.label, label,
-                          Table::num(m.txPerSec, 0),
-                          std::to_string(static_cast<unsigned long>(
-                              m.htm.commits)),
-                          std::to_string(static_cast<unsigned long>(
-                              m.htm.abortsOf(AbortCause::Capacity))),
-                          Table::pct(m.abortRate)});
-        }
-    }
-    table.print();
-    std::printf("\nPaper shape: throughput of the LLC-Bounded system "
-                "collapses once long-running transactions appear; UHTM "
-                "sustains it (4.2x at 0.5%% in the paper).\n");
-    return 0;
+    return uhtm::benchMain("fig8", argc, argv);
 }

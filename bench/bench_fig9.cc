@@ -1,148 +1,18 @@
 /**
  * @file
- * Paper Figure 9: the hybrid key-value stores.
+ * Paper Figure 9: the hybrid key-value stores (HiKV-style Hybrid-Index
+ * and the cross-referencing-logs Dual store) consolidated in two
+ * conflict domains, so the signature-isolation optimization has
+ * cross-domain false positives to eliminate.
  *
- * (a) Hybrid-Index KV store (HiKV-style): every put updates a DRAM
- *     B+tree index and an NVM hash index plus the NVM value in one
- *     transaction.
- * (b) Dual KV store (cross-referencing-logs style): foreground volatile
- *     transactions against a DRAM map, background durable replay into
- *     an NVM map.
- *
- * Both instances run consolidated (two conflict domains), so the
- * signature-isolation optimization has cross-domain false positives to
- * eliminate. Footprints sweep 600KB..1.5MB; signature sizes 512b..4kb.
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench fig9` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdlib>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "harness/experiments.hh"
-#include "harness/report.hh"
-#include "workloads/hog.hh"
-
-using namespace uhtm;
-using namespace uhtm::experiments;
-
-namespace
-{
-
-struct Fig9Result
-{
-    double hybridOps = 0;
-    double dualOps = 0;
-    double abortRate = 0;
-    std::uint64_t crossDomain = 0;
-};
-
-/** Run Hybrid-Index and Dual consolidated under one policy. */
-Fig9Result
-runFig9(const MachineConfig &machine, const HtmPolicy &policy,
-        std::uint64_t footprint, std::uint64_t tx_per_worker)
-{
-    Runner runner(machine, policy, 42);
-    RunControl &rc = runner.control();
-
-    const DomainId hybrid_dom = runner.addDomain("hybrid-index");
-    HybridKvParams hp;
-    hp.footprintBytes = footprint;
-    hp.txPerWorker = tx_per_worker;
-    hp.seed = 42;
-    auto hybrid = std::make_shared<HybridIndexKv>(
-        runner.system(), runner.regions(), hp, 8);
-    for (unsigned w = 0; w < 8; ++w) {
-        runner.addWorker(hybrid_dom, [hybrid, w, &rc](TxContext &ctx) {
-            return hybrid->worker(ctx, w, rc);
-        });
-    }
-
-    const DomainId dual_dom = runner.addDomain("dual");
-    DualKvParams dp;
-    dp.footprintBytes = footprint;
-    dp.txPerWorker = tx_per_worker;
-    dp.seed = 43;
-    auto dual = std::make_shared<DualKv>(runner.system(),
-                                         runner.regions(), dp, 4);
-    for (unsigned p = 0; p < 4; ++p) {
-        runner.addWorker(dual_dom, [dual, p, &rc](TxContext &ctx) {
-            return dual->foreground(ctx, p, rc);
-        });
-    }
-    for (unsigned p = 0; p < 4; ++p) {
-        runner.addBackground(dual_dom, [dual, p, &rc](TxContext &ctx) {
-            return dual->background(ctx, p, rc);
-        });
-    }
-
-    const RunMetrics m = runner.run();
-    Fig9Result r;
-    r.hybridOps = m.domainOpsPerSec(hybrid_dom);
-    r.dualOps = m.domainOpsPerSec(dual_dom);
-    r.abortRate = m.abortRate;
-    r.crossDomain = m.htm.abortsOf(AbortCause::CrossDomainFalse);
-    return r;
-}
-
-} // namespace
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    std::uint64_t tx_per_worker = 3;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--quick")
-            quick = true;
-        if (arg.rfind("--tx=", 0) == 0)
-            tx_per_worker = std::strtoull(arg.c_str() + 5, nullptr, 10);
-    }
-
-    MachineConfig machine;
-    machine.cores = 16; // 8 hybrid + 4 dual fg + 4 dual bg
-
-    std::vector<std::uint64_t> footprints =
-        quick ? std::vector<std::uint64_t>{KiB(600), KiB(1536)}
-              : std::vector<std::uint64_t>{KiB(600), KiB(900), KiB(1200),
-                                           KiB(1536)};
-    std::vector<SystemVariant> systems = {
-        {"LLC-Bounded", HtmPolicy::llcBounded()},
-        {"512_sig", HtmPolicy::uhtmSig(512)},
-        {"512_opt", HtmPolicy::uhtmOpt(512)},
-        {"4k_sig", HtmPolicy::uhtmSig(4096)},
-        {"4k_opt", HtmPolicy::uhtmOpt(4096)},
-        {"Ideal", HtmPolicy::ideal()},
-    };
-    if (quick) {
-        systems = {{"LLC-Bounded", HtmPolicy::llcBounded()},
-                   {"4k_sig", HtmPolicy::uhtmSig(4096)},
-                   {"4k_opt", HtmPolicy::uhtmOpt(4096)},
-                   {"Ideal", HtmPolicy::ideal()}};
-    }
-
-    printBanner("Figure 9: hybrid key-value stores "
-                "(Hybrid-Index + Dual consolidated, footprint sweep)");
-
-    Table table({"footprint", "system", "hybrid ops/s", "dual ops/s",
-                 "abort%", "cross-dom aborts"});
-    for (std::uint64_t fp : footprints) {
-        for (const auto &sysv : systems) {
-            const Fig9Result r =
-                runFig9(machine, sysv.policy, fp, tx_per_worker);
-            table.addRow({std::to_string(fp / 1024) + "KB", sysv.label,
-                          Table::num(r.hybridOps, 0),
-                          Table::num(r.dualOps, 0),
-                          Table::pct(r.abortRate),
-                          std::to_string(
-                              static_cast<unsigned long>(r.crossDomain))});
-        }
-    }
-    table.print();
-    std::printf("\nPaper shape: naive UHTM (_sig) suffers from "
-                "cross-domain false positives; isolation (_opt) "
-                "recovers the loss and beats LLC-Bounded, more so at "
-                "larger footprints.\n");
-    return 0;
+    return uhtm::benchMain("fig9", argc, argv);
 }

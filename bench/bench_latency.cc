@@ -3,89 +3,15 @@
  * Paper Table III sanity check: measured single-access latencies of the
  * simulated hierarchy against the configured values (L1 1.5ns, LLC
  * 15ns, DRAM 82ns, NVM read 175ns / write 94ns).
+ *
+ * Thin wrapper over the shared figure registry; equivalent to
+ * `uhtm_bench latency` (see harness/bench_cli.hh for the flags).
  */
 
-#include <cstdio>
-
-#include "harness/report.hh"
-#include "htm/tx_context.hh"
-
-using namespace uhtm;
-
-namespace
-{
-
-/** Measure the completion delta of one non-transactional access. */
-Tick
-measure(HtmSystem &sys, CoreId core, Addr addr, bool write)
-{
-    const Tick start = sys.eventQueue().now();
-    const AccessResult r =
-        sys.issueAccess(core, 0, addr, write, false, 0xab);
-    return r.completeAt - start;
-}
-
-} // namespace
+#include "harness/bench_cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    EventQueue eq;
-    HtmSystem sys(eq, MachineConfig{}, HtmPolicy::uhtmOpt(2048));
-    sys.createDomain("p0");
-
-    printBanner("Table III: measured vs configured latencies");
-    Table table({"access", "measured ns", "configured ns"});
-
-    const Addr dram = MemLayout::kDramBase + MiB(2);
-    const Addr nvm = MemLayout::kNvmBase + MiB(2);
-
-    // Cold DRAM read: L1 + LLC + DRAM.
-    const Tick dram_miss = measure(sys, 0, dram, false);
-    // Now hot in L1.
-    const Tick l1_hit = measure(sys, 0, dram, false);
-    // Hot in LLC but not in core 1's L1.
-    const Tick llc_hit = measure(sys, 1, dram, false);
-    // Cold NVM read (also fills the DRAM cache).
-    const Tick nvm_miss = measure(sys, 0, nvm, false);
-    // Second cold NVM line read by another core after DRAM-cache fill:
-    const Tick nvm2 = measure(sys, 2, nvm + MiB(4), false);
-    // NVM line now served from the DRAM cache (evict L1+LLC first).
-    sys.l1(0).invalidate(lineAlign(nvm));
-    sys.llc().invalidate(lineAlign(nvm));
-    const Tick nvm_dcache = measure(sys, 0, nvm, false);
-
-    const MachineConfig &cfg = sys.machine();
-    table.addRow({"L1 hit", Table::num(nsFromTicks(l1_hit), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency), 1)});
-    table.addRow({"LLC hit (L1 miss)",
-                  Table::num(nsFromTicks(llc_hit), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency + cfg.llcLatency),
-                             1)});
-    table.addRow({"DRAM read (all miss)",
-                  Table::num(nsFromTicks(dram_miss), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency + cfg.llcLatency +
-                                         cfg.dramReadLatency),
-                             1)});
-    table.addRow({"NVM read (all miss)",
-                  Table::num(nsFromTicks(nvm_miss), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency + cfg.llcLatency +
-                                         cfg.nvmReadLatency),
-                             1)});
-    table.addRow({"NVM read #2", Table::num(nsFromTicks(nvm2), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency + cfg.llcLatency +
-                                         cfg.nvmReadLatency),
-                             1)});
-    table.addRow({"NVM via DRAM cache",
-                  Table::num(nsFromTicks(nvm_dcache), 1),
-                  Table::num(nsFromTicks(cfg.l1Latency + cfg.llcLatency +
-                                         cfg.dramReadLatency),
-                             1)});
-    table.print();
-
-    std::printf("\nNVM write latency (ADR write-pending queue): "
-                "configured %.0fns; DRAM %.0fns read/write.\n",
-                nsFromTicks(cfg.nvmWriteLatency),
-                nsFromTicks(cfg.dramReadLatency));
-    return 0;
+    return uhtm::benchMain("latency", argc, argv);
 }

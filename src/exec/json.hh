@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer.
+ *
+ * The benchmark JSON must be byte-identical across thread counts and
+ * runs, so the writer is strictly append-order, escapes strings per
+ * RFC 8259, and formats doubles with a fixed round-trip format
+ * ("%.17g") — simulated metrics are bit-for-bit reproducible, hence
+ * so is their decimal rendering. No external JSON dependency.
+ */
+
+#ifndef UHTM_EXEC_JSON_HH
+#define UHTM_EXEC_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace uhtm::exec
+{
+
+/** Append-only JSON builder with two-space indentation. */
+class JsonWriter
+{
+  public:
+    const std::string &str() const { return _out; }
+
+    /** @name Structure
+     *  @{ */
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    /** Start a keyed object/array member (inside an object). */
+    void
+    key(const std::string &k)
+    {
+        comma();
+        newline();
+        appendString(k);
+        _out += ": ";
+        _needComma = false;
+        _keyPending = true;
+    }
+    /** @} */
+
+    /** @name Values (as array element, or after key())
+     *  @{ */
+    void
+    value(const std::string &v)
+    {
+        prefix();
+        appendString(v);
+    }
+
+    void value(const char *v) { value(std::string(v)); }
+
+    void
+    value(std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        prefix();
+        _out += buf;
+    }
+
+    void
+    value(double v)
+    {
+        char buf[40];
+        if (std::isfinite(v))
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+        else
+            std::snprintf(buf, sizeof(buf), "null"); // JSON has no inf/nan
+        prefix();
+        _out += buf;
+    }
+
+    void
+    value(bool v)
+    {
+        prefix();
+        _out += v ? "true" : "false";
+    }
+    /** @} */
+
+    /** @name key+value shorthands
+     *  @{ */
+    template <typename T>
+    void
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+    /** @} */
+
+  private:
+    void
+    open(char c)
+    {
+        prefix();
+        _out += c;
+        ++_depth;
+        _needComma = false;
+        _empty = true;
+    }
+
+    void
+    close(char c)
+    {
+        --_depth;
+        if (!_empty)
+            newline();
+        _out += c;
+        _needComma = true;
+        _empty = false;
+    }
+
+    /** Emit separators before a value: array commas + indentation. */
+    void
+    prefix()
+    {
+        if (_keyPending) {
+            _keyPending = false;
+            _needComma = true; // next sibling member needs a comma
+            return;            // key() already emitted "k: "
+        }
+        comma();
+        if (_depth > 0)
+            newline();
+        _needComma = true;
+    }
+
+    void
+    comma()
+    {
+        if (_needComma)
+            _out += ',';
+        _needComma = true;
+        _empty = false;
+    }
+
+    void
+    newline()
+    {
+        _out += '\n';
+        _out.append(static_cast<std::size_t>(_depth) * 2, ' ');
+        _empty = false;
+    }
+
+    void
+    appendString(const std::string &s)
+    {
+        _out += '"';
+        for (unsigned char c : s) {
+            switch (c) {
+              case '"': _out += "\\\""; break;
+              case '\\': _out += "\\\\"; break;
+              case '\n': _out += "\\n"; break;
+              case '\r': _out += "\\r"; break;
+              case '\t': _out += "\\t"; break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    _out += buf;
+                } else {
+                    _out += static_cast<char>(c);
+                }
+            }
+        }
+        _out += '"';
+    }
+
+    std::string _out;
+    int _depth = 0;
+    bool _needComma = false;
+    bool _keyPending = false;
+    bool _empty = true;
+};
+
+} // namespace uhtm::exec
+
+#endif // UHTM_EXEC_JSON_HH

@@ -1,0 +1,186 @@
+#include "exec/result_sink.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "exec/json.hh"
+#include "htm/config.hh"
+
+namespace uhtm::exec
+{
+
+namespace
+{
+
+void
+writeStringMap(JsonWriter &w, const std::string &key,
+               const std::map<std::string, std::string> &m)
+{
+    w.key(key);
+    w.beginObject();
+    for (const auto &[k, v] : m)
+        w.field(k, v);
+    w.endObject();
+}
+
+void
+writeDistribution(JsonWriter &w, const std::string &key,
+                  const Distribution &d)
+{
+    w.key(key);
+    w.beginObject();
+    w.field("count", d.count());
+    w.field("mean", d.mean());
+    w.field("min", d.min());
+    w.field("max", d.max());
+    w.endObject();
+}
+
+void
+writeHtmStats(JsonWriter &w, const HtmStats &h)
+{
+    w.key("htm");
+    w.beginObject();
+    w.field("tx_begins", h.txBegins);
+    w.field("commits", h.commits);
+    w.field("serialized_commits", h.serializedCommits);
+    w.field("lock_acquisitions", h.lockAcquisitions);
+    w.field("total_aborts", h.totalAborts());
+    w.key("aborts");
+    w.beginObject();
+    // Skip AbortCause::None (index 0): never a recorded abort cause.
+    for (std::size_t c = 1; c < h.aborts.size(); ++c)
+        w.field(abortCauseName(static_cast<AbortCause>(c)), h.aborts[c]);
+    w.endObject();
+    w.field("overflowed_txs", h.overflowedTxs);
+    w.field("llc_tx_evictions", h.llcTxEvictions);
+    w.field("llc_tx_write_evictions", h.llcTxWriteEvictions);
+    w.field("llc_tx_read_evictions", h.llcTxReadEvictions);
+    w.field("sig_checks", h.sigChecks);
+    w.field("sig_hits", h.sigHits);
+    w.field("sig_false_hits", h.sigFalseHits);
+    w.field("context_switches", h.contextSwitches);
+    w.field("log_expansions", h.logExpansions);
+    w.endObject();
+
+    w.key("latency_ns");
+    w.beginObject();
+    writeDistribution(w, "commit_protocol", h.commitProtocolNs);
+    writeDistribution(w, "abort_protocol", h.abortProtocolNs);
+    writeDistribution(w, "tx_footprint_bytes", h.txFootprintBytes);
+    writeDistribution(w, "sig_inserts_per_tx", h.sigInsertsPerTx);
+    w.endObject();
+}
+
+void
+writeMetrics(JsonWriter &w, const RunMetrics &m)
+{
+    w.key("metrics");
+    w.beginObject();
+    w.field("end_tick", m.endTick);
+    w.field("sim_seconds", m.simSeconds);
+    w.field("committed_txs", m.committedTxs);
+    w.field("committed_ops", m.committedOps);
+    w.field("tx_per_sec", m.txPerSec);
+    w.field("ops_per_sec", m.opsPerSec);
+    w.field("abort_rate", m.abortRate);
+    writeHtmStats(w, m.htm);
+
+    w.key("domains");
+    w.beginArray();
+    for (const auto &[dom, ops] : m.domainOps) {
+        w.beginObject();
+        w.field("id", static_cast<std::uint64_t>(dom));
+        w.field("ops", ops);
+        w.field("ops_per_sec", m.domainOpsPerSec(dom));
+        auto et = m.domainEndTick.find(dom);
+        w.field("end_tick",
+                et != m.domainEndTick.end() ? et->second : Tick(0));
+        auto ctx = m.domainCtx.find(dom);
+        if (ctx != m.domainCtx.end()) {
+            w.field("commits", ctx->second.commits);
+            w.field("serialized_commits", ctx->second.serializedCommits);
+            w.field("aborts", ctx->second.aborts);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("extra");
+    w.beginObject();
+    for (const auto &[k, v] : m.extra.values())
+        w.field(k, v);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+ResultSink::ResultSink(std::string benchName, std::uint64_t sweepSeed,
+                       std::map<std::string, std::string> sweepConfig)
+    : _name(std::move(benchName)), _sweepSeed(sweepSeed),
+      _sweepConfig(std::move(sweepConfig))
+{
+}
+
+std::string
+ResultSink::json(const std::vector<JobResult> &results) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "uhtm-bench-v1");
+    w.field("bench", _name);
+    w.field("sweep_seed", _sweepSeed);
+    writeStringMap(w, "sweep_config", _sweepConfig);
+    w.key("jobs");
+    w.beginArray();
+    for (const JobResult &r : results) {
+        w.beginObject();
+        w.field("key", r.key);
+        w.field("seed", r.seed);
+        writeStringMap(w, "config", r.config);
+        w.field("ok", r.ok);
+        if (r.ok)
+            writeMetrics(w, r.metrics);
+        else
+            w.field("error", r.error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+ResultSink::writeTo(const std::string &dir,
+                    const std::vector<JobResult> &results,
+                    std::string *err) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create " + dir + ": " + ec.message();
+        return "";
+    }
+    const std::string path = (fs::path(dir) / fileName()).string();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path;
+        return "";
+    }
+    const std::string body = json(results);
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                    body.size();
+    std::fclose(f);
+    if (!ok) {
+        if (err)
+            *err = "short write to " + path;
+        return "";
+    }
+    return path;
+}
+
+} // namespace uhtm::exec

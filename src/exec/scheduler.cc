@@ -1,0 +1,58 @@
+#include "exec/scheduler.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/random.hh"
+
+namespace uhtm::exec
+{
+
+std::uint64_t
+SweepScheduler::jobSeed(std::uint64_t sweepSeed, const std::string &key)
+{
+    // FNV-1a over the key, then one SplitMix64 round against the sweep
+    // seed so nearby keys don't produce correlated xoshiro states.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    std::uint64_t s = sweepSeed ^ h;
+    return splitmix64(s);
+}
+
+std::vector<JobResult>
+SweepScheduler::run(const std::vector<Job> &jobs)
+{
+    std::unordered_set<std::string> keys;
+    for (const Job &j : jobs)
+        if (!keys.insert(j.key).second)
+            throw std::invalid_argument("duplicate job key: " + j.key);
+
+    std::vector<JobResult> results(jobs.size());
+    _pool.runAll(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        JobResult &r = results[i];
+        r.key = job.key;
+        r.config = job.config;
+        r.seed = jobSeed(_opts.sweepSeed, job.key);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            r.metrics = job.run(r.seed);
+            r.ok = true;
+        } catch (const std::exception &e) {
+            r.error = e.what();
+        } catch (...) {
+            r.error = "unknown exception";
+        }
+        r.hostSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+    });
+    return results;
+}
+
+} // namespace uhtm::exec

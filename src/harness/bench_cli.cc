@@ -1,0 +1,172 @@
+#include "harness/bench_cli.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/result_sink.hh"
+#include "exec/scheduler.hh"
+
+namespace uhtm
+{
+
+namespace
+{
+
+bool
+parseU64(const std::string &arg, const char *prefix, std::uint64_t &out)
+{
+    const std::size_t n = std::strlen(prefix);
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = std::strtoull(arg.c_str() + n, nullptr, 10);
+    return true;
+}
+
+/** Sweep-level settings echoed into the JSON file. */
+std::map<std::string, std::string>
+sweepConfig(const BenchCliOpts &opts)
+{
+    std::map<std::string, std::string> cfg;
+    cfg["quick"] = opts.fig.quick ? "true" : "false";
+    cfg["tiny"] = opts.fig.tiny ? "true" : "false";
+    if (opts.fig.txOverride)
+        cfg["tx_override"] = std::to_string(opts.fig.txOverride);
+    if (opts.fig.scanMbOverride)
+        cfg["scan_mb_override"] =
+            std::to_string(opts.fig.scanMbOverride);
+    if (!opts.filter.empty())
+        cfg["filter"] = opts.filter;
+    return cfg;
+}
+
+} // namespace
+
+const char *
+benchFlagsHelp()
+{
+    return "  --jobs=N      worker threads (default: hardware "
+           "concurrency)\n"
+           "  --seed=S      sweep seed (default 42)\n"
+           "  --out=DIR     write BENCH_<figure>.json into DIR\n"
+           "  --filter=SUB  only run jobs whose key contains SUB\n"
+           "  --quick       reduced sweep points\n"
+           "  --tiny        miniature smoke/sanitizer configs\n"
+           "  --tx=N        transactions per worker (--ops= alias)\n"
+           "  --scanmb=N    fig8 long-scan size in MiB\n";
+}
+
+bool
+parseBenchArgs(int argc, char **argv, int firstArg, BenchCliOpts &opts,
+               std::string &err)
+{
+    for (int i = firstArg; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::uint64_t v = 0;
+        if (arg == "--quick") {
+            opts.fig.quick = true;
+        } else if (arg == "--tiny") {
+            opts.fig.tiny = true;
+        } else if (parseU64(arg, "--jobs=", v)) {
+            opts.jobs = static_cast<unsigned>(v);
+        } else if (parseU64(arg, "--seed=", v)) {
+            opts.fig.seed = v;
+        } else if (parseU64(arg, "--tx=", v) ||
+                   parseU64(arg, "--ops=", v)) {
+            opts.fig.txOverride = v;
+        } else if (parseU64(arg, "--scanmb=", v)) {
+            opts.fig.scanMbOverride = v;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opts.outDir = arg.substr(6);
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            opts.filter = arg.substr(9);
+        } else {
+            err = "unknown argument: " + arg;
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+runFigure(const figures::Figure &figure, const BenchCliOpts &opts)
+{
+    std::vector<exec::Job> jobs = figure.makeJobs(opts.fig);
+    if (!opts.filter.empty()) {
+        std::vector<exec::Job> kept;
+        for (auto &j : jobs)
+            if (j.key.find(opts.filter) != std::string::npos)
+                kept.push_back(std::move(j));
+        jobs = std::move(kept);
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr, "%s: no jobs match filter \"%s\"\n",
+                     figure.name.c_str(), opts.filter.c_str());
+        return 1;
+    }
+
+    exec::SweepScheduler scheduler({opts.jobs, opts.fig.seed});
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<exec::JobResult> results = scheduler.run(jobs);
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    figure.render(opts.fig, results, stdout);
+
+    unsigned failed = 0;
+    for (const exec::JobResult &r : results) {
+        if (!r.ok) {
+            ++failed;
+            std::fprintf(stderr, "job %s FAILED: %s\n", r.key.c_str(),
+                         r.error.c_str());
+        }
+    }
+
+    if (!opts.outDir.empty()) {
+        exec::ResultSink sink(figure.name, opts.fig.seed,
+                              sweepConfig(opts));
+        std::string err;
+        const std::string path =
+            sink.writeTo(opts.outDir, results, &err);
+        if (path.empty()) {
+            std::fprintf(stderr, "JSON emission failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+    // Host-side summary (never part of the deterministic JSON).
+    std::printf("\n[%s] %zu jobs on %u threads in %.2fs wall",
+                figure.name.c_str(), results.size(),
+                scheduler.threads(), wallSeconds);
+    if (failed)
+        std::printf(", %u FAILED", failed);
+    std::printf("\n");
+    return failed ? 1 : 0;
+}
+
+int
+benchMain(const char *figureName, int argc, char **argv)
+{
+    const figures::Figure *figure = figures::find(figureName);
+    if (!figure) {
+        std::fprintf(stderr, "unknown figure: %s\n", figureName);
+        return 2;
+    }
+    BenchCliOpts opts;
+    std::string err;
+    if (!parseBenchArgs(argc, argv, 1, opts, err)) {
+        std::fprintf(stderr, "%s\nusage: %s [flags]\n%s", err.c_str(),
+                     argv[0], benchFlagsHelp());
+        return 2;
+    }
+    return runFigure(*figure, opts);
+}
+
+} // namespace uhtm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared command-line front end for the benchmark binaries.
+ *
+ * The ten `bench/bench_*` binaries used to copy-paste their argument
+ * parsing and sweep loops; they are now thin wrappers over
+ * benchMain(), and the unified `uhtm_bench` driver adds a subcommand
+ * on top of the same flags:
+ *
+ *   --jobs=N      worker threads (0/default: one per hardware thread)
+ *   --seed=S      sweep seed (default 42)
+ *   --out=DIR     write BENCH_<figure>.json into DIR
+ *   --filter=SUB  only run jobs whose key contains SUB
+ *   --quick       reduced sweep points
+ *   --tiny        miniature smoke/sanitizer configs
+ *   --tx=N        transactions per worker (--ops= is an alias)
+ *   --scanmb=N    fig8 long-scan size in MiB
+ */
+
+#ifndef UHTM_HARNESS_BENCH_CLI_HH
+#define UHTM_HARNESS_BENCH_CLI_HH
+
+#include <string>
+
+#include "harness/figures.hh"
+
+namespace uhtm
+{
+
+/** Parsed benchmark command line. */
+struct BenchCliOpts
+{
+    figures::FigureOpts fig;
+    /** Scheduler threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Output directory for BENCH_*.json; empty = no JSON. */
+    std::string outDir;
+    /** Substring filter on job keys; empty = all. */
+    std::string filter;
+};
+
+/**
+ * Parse flags from argv[firstArg..). Returns false and sets @p err on
+ * an unknown or malformed argument.
+ */
+bool parseBenchArgs(int argc, char **argv, int firstArg,
+                    BenchCliOpts &opts, std::string &err);
+
+/** One line describing the shared flags (for usage messages). */
+const char *benchFlagsHelp();
+
+/**
+ * Run @p figure end-to-end: build jobs, filter, schedule, render the
+ * table to stdout, emit JSON when --out was given, and print the
+ * host-side sweep summary. Returns a process exit code (non-zero if
+ * any job failed).
+ */
+int runFigure(const figures::Figure &figure, const BenchCliOpts &opts);
+
+/**
+ * main() of a thin per-figure wrapper binary: parse flags, run the
+ * named figure. @p figureName must exist in the registry.
+ */
+int benchMain(const char *figureName, int argc, char **argv);
+
+} // namespace uhtm
+
+#endif // UHTM_HARNESS_BENCH_CLI_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure registry: every reproduced paper figure/table as a set of
+ * independent experiment jobs plus a text renderer.
+ *
+ * Each figure used to be a standalone `bench/bench_*.cc` binary with
+ * its own serial sweep loop and argument parsing. The registry splits
+ * that into:
+ *
+ *   makeJobs(opts)  — the sweep's independent single-simulation jobs
+ *                     (what the exec::SweepScheduler runs in parallel)
+ *   render(...)     — the figure's fixed-width table, computed from
+ *                     the job results by key
+ *
+ * so the unified `uhtm_bench` driver, the thin per-figure wrapper
+ * binaries and the in-process smoke tests all share one definition of
+ * every experiment.
+ */
+
+#ifndef UHTM_HARNESS_FIGURES_HH
+#define UHTM_HARNESS_FIGURES_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/job.hh"
+
+namespace uhtm::figures
+{
+
+/** Scale / parameter options common to every figure. */
+struct FigureOpts
+{
+    /** Reduced sweep points (the benches' historical --quick). */
+    bool quick = false;
+    /** Miniature configs for smoke tests and sanitizer CI: tiny
+     *  caches, few workers, ~8KB footprints. Implies quick sweeps. */
+    bool tiny = false;
+    /** Override committed transactions per worker (--tx= / --ops=). */
+    std::uint64_t txOverride = 0;
+    /** Override long-scan size in MiB (fig8's --scanmb=). */
+    std::uint64_t scanMbOverride = 0;
+    /** Sweep seed; each job derives its own from (seed, key). */
+    std::uint64_t seed = 42;
+};
+
+/** One reproduced figure/table. */
+struct Figure
+{
+    std::string name;  ///< subcommand, e.g. "fig6"
+    std::string title; ///< banner line
+    std::function<std::vector<exec::Job>(const FigureOpts &)> makeJobs;
+    /** Render the text table (and paper-shape footnote) to @p out.
+     *  Tolerates missing results (e.g. a --filter'ed sweep): absent
+     *  cells render as "-". */
+    std::function<void(const FigureOpts &,
+                       const std::vector<exec::JobResult> &, std::FILE *)>
+        render;
+};
+
+/** All figures, in paper order. */
+const std::vector<Figure> &all();
+
+/** Look up a figure by name; nullptr if unknown. */
+const Figure *find(const std::string &name);
+
+} // namespace uhtm::figures
+
+#endif // UHTM_HARNESS_FIGURES_HH

@@ -90,9 +90,9 @@ class Table
 
 /** Section banner for bench output. */
 inline void
-printBanner(const std::string &title)
+printBanner(const std::string &title, std::FILE *out = stdout)
 {
-    std::printf("\n=== %s ===\n\n", title.c_str());
+    std::fprintf(out, "\n=== %s ===\n\n", title.c_str());
 }
 
 } // namespace uhtm

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "htm/tx_context.hh"
+#include "sim/stats.hh"
 #include "workloads/region_alloc.hh"
 
 namespace uhtm
@@ -61,6 +62,10 @@ struct RunMetrics
     std::map<DomainId, TxContextStats> domainCtx;
     /** Tick at which each domain's last foreground worker finished. */
     std::map<DomainId, Tick> domainEndTick;
+
+    /** Experiment-specific named scalars (e.g. the latency figure's
+     *  measured access times). Emitted into the JSON output. */
+    StatSet extra;
 
     /** Per-domain operation throughput over the domain's own runtime
      *  (fixed-work runs end at different times per benchmark). */

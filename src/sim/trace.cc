@@ -1,5 +1,6 @@
 #include "sim/trace.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -8,25 +9,28 @@ namespace uhtm::trace
 
 namespace
 {
-unsigned g_mask = 0;
+// Atomic: the mask is process-global while Simulations may run on
+// several SweepScheduler workers at once. Relaxed is enough — the mask
+// only gates diagnostic output, no simulator behaviour depends on it.
+std::atomic<unsigned> g_mask{0};
 } // namespace
 
 unsigned
 enabledMask()
 {
-    return g_mask;
+    return g_mask.load(std::memory_order_relaxed);
 }
 
 void
 enable(unsigned mask)
 {
-    g_mask |= mask;
+    g_mask.fetch_or(mask, std::memory_order_relaxed);
 }
 
 void
 disableAll()
 {
-    g_mask = 0;
+    g_mask.store(0, std::memory_order_relaxed);
 }
 
 void

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Benchmark smoke tests: every figure in the registry builds its jobs
+ * at --tiny scale, runs them on a 2-thread scheduler, renders its text
+ * table and serializes to JSON — in-process, fast enough for tier 1.
+ * This is what keeps `uhtm_bench` from rotting while the simulator
+ * underneath it evolves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exec/result_sink.hh"
+#include "exec/scheduler.hh"
+#include "harness/figures.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+figures::FigureOpts
+tinyOpts()
+{
+    figures::FigureOpts o;
+    o.tiny = true;
+    o.seed = 42;
+    return o;
+}
+
+class EveryFigure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryFigure, TinySweepRunsRendersAndSerializes)
+{
+    const figures::Figure *fig = figures::find(GetParam());
+    ASSERT_NE(fig, nullptr);
+
+    const auto opts = tinyOpts();
+    const std::vector<exec::Job> jobs = fig->makeJobs(opts);
+    ASSERT_FALSE(jobs.empty());
+
+    exec::SweepScheduler sched({2, opts.seed});
+    const auto results = sched.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.key << ": " << r.error;
+
+    // Render the text table into a scratch file, not the test log.
+    std::FILE *sinkFile = std::tmpfile();
+    ASSERT_NE(sinkFile, nullptr);
+    fig->render(opts, results, sinkFile);
+    EXPECT_GT(std::ftell(sinkFile), 0) << "render produced no output";
+    std::fclose(sinkFile);
+
+    const exec::ResultSink sink(fig->name, opts.seed, {{"tiny", "true"}});
+    const std::string json = sink.json(results);
+    EXPECT_EQ(json.find("{\n  \"schema\": \"uhtm-bench-v1\""), 0u);
+    EXPECT_NE(json.find("\"bench\": \"" + fig->name + "\""),
+              std::string::npos);
+}
+
+std::vector<std::string>
+figureNames()
+{
+    std::vector<std::string> names;
+    for (const auto &f : figures::all())
+        names.push_back(f.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bench, EveryFigure,
+                         ::testing::ValuesIn(figureNames()),
+                         [](const auto &info) { return info.param; });
+
+/** Render must tolerate filtered sweeps with most keys missing. */
+TEST(BenchSmoke, RenderToleratesFilteredResults)
+{
+    const auto opts = tinyOpts();
+    for (const auto &fig : figures::all()) {
+        auto jobs = fig.makeJobs(opts);
+        jobs.resize(1); // as if --filter matched a single job
+        exec::SweepScheduler sched({1, opts.seed});
+        const auto results = sched.run(jobs);
+        std::FILE *sinkFile = std::tmpfile();
+        ASSERT_NE(sinkFile, nullptr);
+        fig.render(opts, results, sinkFile); // must not crash
+        std::fclose(sinkFile);
+    }
+}
+
+} // namespace
+} // namespace uhtm

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two uhtm-bench-v1 JSON outputs and flag throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold PCT] [--metric NAME]
+
+BASELINE and CANDIDATE are either two BENCH_<figure>.json files or two
+directories of them (matched by file name). Jobs are matched by key; a
+job whose metric drops by more than the threshold (default 10%) fails
+the comparison, as does a job that disappeared or stopped succeeding.
+New jobs in the candidate are reported but do not fail.
+
+Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "uhtm-bench-v1":
+        raise ValueError(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def job_metric(job, metric):
+    """Extract the comparison metric from one job entry (None if n/a)."""
+    if not job.get("ok"):
+        return None
+    value = job.get("metrics", {}).get(metric)
+    return float(value) if value is not None else None
+
+
+def compare_docs(base, cand, *, threshold, metric, label, out):
+    """Compare two parsed documents; return the number of regressions."""
+    base_jobs = {j["key"]: j for j in base.get("jobs", [])}
+    cand_jobs = {j["key"]: j for j in cand.get("jobs", [])}
+    regressions = 0
+
+    for key, bjob in sorted(base_jobs.items()):
+        cjob = cand_jobs.get(key)
+        if cjob is None:
+            print(f"FAIL {label}/{key}: job disappeared", file=out)
+            regressions += 1
+            continue
+        if bjob.get("ok") and not cjob.get("ok"):
+            err = cjob.get("error", "?")
+            print(f"FAIL {label}/{key}: now failing ({err})", file=out)
+            regressions += 1
+            continue
+        bval = job_metric(bjob, metric)
+        cval = job_metric(cjob, metric)
+        if bval is None or bval == 0.0 or cval is None:
+            continue  # nothing meaningful to compare
+        delta_pct = 100.0 * (cval - bval) / bval
+        status = "ok"
+        if delta_pct < -threshold:
+            status = "FAIL"
+            regressions += 1
+        print(f"{status:4} {label}/{key}: {metric} {bval:.0f} -> "
+              f"{cval:.0f} ({delta_pct:+.1f}%)", file=out)
+
+    for key in sorted(set(cand_jobs) - set(base_jobs)):
+        print(f"new  {label}/{key}: no baseline", file=out)
+
+    return regressions
+
+
+def pair_paths(base, cand):
+    """Yield (label, base_file, cand_file) pairs for files or dirs."""
+    if os.path.isfile(base) and os.path.isfile(cand):
+        yield os.path.basename(cand), base, cand
+        return
+    if not (os.path.isdir(base) and os.path.isdir(cand)):
+        raise ValueError("arguments must be two files or two directories")
+    names = sorted(n for n in os.listdir(base)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        raise ValueError(f"no BENCH_*.json files in {base}")
+    for name in names:
+        cpath = os.path.join(cand, name)
+        if not os.path.isfile(cpath):
+            raise ValueError(f"candidate is missing {name}")
+        yield name, os.path.join(base, name), cpath
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline file or directory")
+    ap.add_argument("candidate", help="candidate file or directory")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated drop in percent (default 10)")
+    ap.add_argument("--metric", default="ops_per_sec",
+                    help="metrics field to compare (default ops_per_sec)")
+    args = ap.parse_args(argv)
+
+    regressions = 0
+    try:
+        for label, bpath, cpath in pair_paths(args.baseline, args.candidate):
+            regressions += compare_docs(load(bpath), load(cpath),
+                                        threshold=args.threshold,
+                                        metric=args.metric,
+                                        label=label, out=sys.stdout)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if regressions:
+        print(f"{regressions} regression(s) beyond "
+              f"{args.threshold}% on {args.metric}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
