@@ -79,6 +79,33 @@ HtmSystem::offChipConflictCheck(Addr line, TxDesc *req,
     const auto &cands = _policy.signatureIsolation
                             ? _tss.activeInDomain(req_domain)
                             : _tss.active();
+
+    // Summary-filter fast path: one probe of the union of all candidate
+    // signatures. A miss proves every per-transaction probe below would
+    // miss too (no false negatives), so the walk can be skipped — but
+    // the per-candidate sigChecks accounting must stay exactly as the
+    // slow path would have produced it (the counter is serialized in
+    // the bench JSON, which is golden-compared byte for byte).
+    if (!precise && _tss.summariesEnabled() && !cands.empty()) {
+        ++_stats.summaryProbes;
+        const bool may = _policy.signatureIsolation
+                             ? _tss.summaryMayContain(req_domain, line)
+                             : _tss.summaryMayContainAny(line);
+        if (!may) {
+            ++_stats.summarySkips;
+            const std::uint64_t probes_each = is_write ? 2 : 1;
+            for (const TxDesc *v : cands) {
+                if (v == req || !v->active() || v->serialized)
+                    continue;
+                if (v->readSig.empty() && v->writeSig.empty())
+                    continue;
+                ++_stats.sigChecks;
+                _stats.sigProbesAvoided += probes_each;
+            }
+            return {};
+        }
+    }
+
     for (TxDesc *v : cands) {
         if (v == req || !v->active() || v->serialized)
             continue;
@@ -212,8 +239,10 @@ HtmSystem::handleChipEviction(const CacheLine &ev, Tick t)
     if (writer && !writer->serialized) {
         markOverflowed(writer);
         writer->overflowedLines.insert(line);
-        if (_policy.offChip != OffChipDetection::Precise)
+        if (_policy.offChip != OffChipDetection::Precise) {
             writer->writeSig.insert(line);
+            _tss.noteSigInsert(writer->domain, line);
+        }
         writer->noteOverflowListEntry(line);
 
         if (MemLayout::kindOf(line) == MemKind::Dram) {
@@ -258,8 +287,10 @@ HtmSystem::handleChipEviction(const CacheLine &ev, Tick t)
             continue;
         markOverflowed(d);
         d->overflowedLines.insert(line);
-        if (_policy.offChip != OffChipDetection::Precise)
+        if (_policy.offChip != OffChipDetection::Precise) {
             d->readSig.insert(line);
+            _tss.noteSigInsert(d->domain, line);
+        }
     }
 }
 
@@ -307,8 +338,10 @@ HtmSystem::issueAccess(CoreId core, DomainId domain, Addr addr,
         if (offChipConflictCheck(line, tx, domain, is_write)
                 .requesterAborts)
             return {t + _mcfg.l1Latency, 0};
-        if (tx)
+        if (tx) {
             (is_write ? tx->writeSig : tx->readSig).insert(line);
+            _tss.noteSigInsert(tx->domain, line);
+        }
     }
 
     Cache &l1 = *_l1s[core];

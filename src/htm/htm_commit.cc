@@ -14,6 +14,7 @@
  * architectural store at issue time; abort simply drops it.
  */
 
+#include <algorithm>
 #include <cassert>
 
 #include "check/fault_injector.hh"
@@ -42,6 +43,10 @@ HtmSystem::issueCommit(CoreId core)
     for (Addr line : tx->writeSet)
         if (MemLayout::kindOf(line) == MemKind::Nvm)
             nvm_lines.push_back(line);
+    // Canonical address order: the DRAM-cache fills below have
+    // order-dependent LRU side effects, and this walk must not inherit
+    // the write set's container iteration order.
+    std::sort(nvm_lines.begin(), nvm_lines.end());
 
     Tick t_nvm = t;
     Tick commit_durable_at = 0;

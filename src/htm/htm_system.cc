@@ -28,6 +28,13 @@ HtmSystem::HtmSystem(EventQueue &eq, MachineConfig mcfg, HtmPolicy policy)
     trace::initFromEnv();
     assert(mcfg.cores >= 1 && mcfg.cores <= 64 &&
            "sharer bitmask limits the model to 64 cores");
+    // Domain summary filters share the per-transaction signature
+    // geometry so unionWith() stays a straight word-wise OR.
+    if (policy.offChip == OffChipDetection::SignatureLlcMiss ||
+        policy.offChip == OffChipDetection::SignatureAllTraffic) {
+        _tss.configureSummaries(policy.signatureBits,
+                                policy.signatureHashes);
+    }
     for (unsigned i = 0; i < mcfg.cores; ++i) {
         _l1s.push_back(std::make_unique<Cache>("L1." + std::to_string(i),
                                                mcfg.l1Bytes, mcfg.l1Ways));
@@ -179,7 +186,10 @@ HtmSystem::suspendTx(CoreId core)
     // Flush modified private-cache lines to the LLC so the write set
     // can later be located without asking this core (paper IV-E), then
     // drop the whole private working set (the thread is leaving).
-    _l1s[core]->forEachLine([&](CacheLine &cl) {
+    // Address-sorted walk: the overflow-list entries recorded here feed
+    // the commit/abort DRAM-cache walks, so their order must not depend
+    // on cache placement.
+    _l1s[core]->forEachLineSorted([&](CacheLine &cl) {
         const Addr line = cl.tag;
         CacheLine *s = _llc.peek(line);
         if (s) {

@@ -73,6 +73,17 @@ struct HtmStats
     std::uint64_t sigHits = 0;
     std::uint64_t sigFalseHits = 0;
 
+    /**
+     * Domain summary-filter fast path (simulator-internal; not part of
+     * the serialized bench JSON — the schema and values above are
+     * frozen for byte-identical golden comparison).
+     */
+    std::uint64_t summaryProbes = 0;
+    /** Summary misses: the per-transaction probe walk was skipped. */
+    std::uint64_t summarySkips = 0;
+    /** Individual bloom probes proven unnecessary by a summary miss. */
+    std::uint64_t sigProbesAvoided = 0;
+
     std::uint64_t contextSwitches = 0;
     /** OS traps taken to expand a full log area (Section IV-E). */
     std::uint64_t logExpansions = 0;

@@ -14,6 +14,7 @@
 #ifndef UHTM_HTM_SIGNATURE_HH
 #define UHTM_HTM_SIGNATURE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -28,18 +29,41 @@ namespace uhtm
  *
  * Uses k independent hash functions derived from splitmix64 of the line
  * number, mimicking the XOR-folded H3 hash arrays of hardware signature
- * proposals. Bit count must be a power of two.
+ * proposals. The bit count is rounded up to a power of two of at least
+ * 64 (the `& (_bits - 1)` index mask requires it); at least one hash
+ * function is always used.
  */
 class BloomSignature
 {
   public:
+    /** Smallest supported filter size (one 64-bit word). */
+    static constexpr unsigned kMinBits = 64;
+
+    /** Round @p bits up to a power of two no smaller than kMinBits. */
+    static constexpr unsigned
+    effectiveBits(unsigned bits)
+    {
+        unsigned b = bits < kMinBits ? kMinBits : bits;
+        b--;
+        b |= b >> 1;
+        b |= b >> 2;
+        b |= b >> 4;
+        b |= b >> 8;
+        b |= b >> 16;
+        return b + 1;
+    }
+
     /**
-     * @param bits filter size in bits (power of two, >= 64).
-     * @param hashes number of hash functions.
+     * @param bits requested filter size in bits; rounded up to a power
+     *        of two >= 64.
+     * @param hashes number of hash functions (clamped to >= 1).
      */
     explicit BloomSignature(unsigned bits = 2048, unsigned hashes = 4)
-        : _bits(bits), _hashes(hashes), _words(bits / 64, 0)
+        : _bits(effectiveBits(bits)), _hashes(hashes ? hashes : 1),
+          _words(_bits / 64, 0)
     {
+        assert((_bits & (_bits - 1)) == 0 && _bits >= kMinBits &&
+               "bit-index mask requires a power-of-two filter size");
     }
 
     /** Insert the line containing @p line_base. */
@@ -76,14 +100,23 @@ class BloomSignature
         _inserts = 0;
     }
 
-    /** True if no bits are set. */
-    bool
-    empty() const
+    /** True if no bits are set (O(1): insert is the only bit setter). */
+    bool empty() const { return _inserts == 0; }
+
+    /**
+     * OR another signature of identical geometry into this one (used by
+     * the TSS domain summary filters). Inserts are accumulated so
+     * empty() stays exact.
+     */
+    void
+    unionWith(const BloomSignature &o)
     {
-        for (auto w : _words)
-            if (w)
-                return false;
-        return true;
+        assert(o._bits == _bits && "summary/member geometry mismatch");
+        if (o._inserts == 0)
+            return;
+        for (std::size_t i = 0; i < _words.size(); ++i)
+            _words[i] |= o._words[i];
+        _inserts += o._inserts;
     }
 
     /** Fraction of bits set (filter saturation). */

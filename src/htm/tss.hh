@@ -1,12 +1,23 @@
 /**
  * @file
- * Transaction status structure (TSS) and conflict domains.
+ * Transaction status structure (TSS), conflict domains and the domain
+ * summary-signature table.
  *
  * The TSS tracks all running transactions (paper Section IV-E). This
  * implementation additionally indexes active transactions by conflict
  * domain — the unit of UHTM's signature-isolation optimization — and
  * hosts the per-domain slow-path serialization lock used by the
  * Algorithm-1 fallback.
+ *
+ * The TxSummaryTable is a simulator-side hot-path structure in the
+ * spirit of Bulk-style "notary" filters: per conflict domain (plus one
+ * global filter for the non-isolated baselines) it keeps the union of
+ * every active transaction's read and write signatures. An LLC-miss
+ * conflict check probes the union once; a miss proves that *no* active
+ * transaction's filter can contain the line, short-circuiting the
+ * 2-probes-per-transaction walk. The union is updated incrementally on
+ * signature inserts and lazily rebuilt (on the next probe) after a
+ * commit or abort retires a transaction's bits.
  */
 
 #ifndef UHTM_HTM_TSS_HH
@@ -17,14 +28,151 @@
 #include <coroutine>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "htm/signature.hh"
 #include "htm/tx_desc.hh"
+#include "sim/line_map.hh"
 #include "sim/types.hh"
 
 namespace uhtm
 {
+
+/**
+ * Union ("summary") signatures over the active transactions of each
+ * conflict domain, plus a global union across domains.
+ *
+ * Guarantee: a summary miss implies that every active transaction's
+ * read and write signature also misses (no false negatives) — inserts
+ * reach the summary synchronously with the member filter, and retiring
+ * a member only ever *removes* bits, which the lazy rebuild handles
+ * before the next probe. As a defense against out-of-band member
+ * mutation (tests poke signature bits directly), every probe also
+ * cross-checks the members' total insert count against the count the
+ * union was built from and rebuilds on mismatch; the check is two
+ * counter loads per member, far cheaper than the probes it guards.
+ */
+class TxSummaryTable
+{
+  public:
+    /** Enable the table with the member signatures' geometry. */
+    void
+    configure(unsigned bits, unsigned hashes)
+    {
+        _bits = BloomSignature::effectiveBits(bits);
+        _hashes = hashes ? hashes : 1;
+        _global = Entry{BloomSignature(_bits, _hashes), true};
+        for (auto &e : _domains)
+            e = Entry{BloomSignature(_bits, _hashes), true};
+    }
+
+    bool enabled() const { return _bits != 0; }
+
+    void
+    addDomain()
+    {
+        _domains.push_back(
+            Entry{BloomSignature(_bits ? _bits : 64, _hashes ? _hashes : 1),
+                  true});
+    }
+
+    /** Mirror a member-signature insert into the union filters. */
+    void
+    noteInsert(DomainId d, Addr line)
+    {
+        if (!enabled())
+            return;
+        assert(d < _domains.size());
+        // A dirty union is rebuilt from the member filters before its
+        // next probe, which will include this insert; updating it now
+        // would be wasted work. Each call mirrors exactly one member
+        // insert, keeping builtInserts aligned with memberInserts().
+        if (!_domains[d].dirty) {
+            _domains[d].sig.insert(line);
+            ++_domains[d].builtInserts;
+        }
+        if (!_global.dirty) {
+            _global.sig.insert(line);
+            ++_global.builtInserts;
+        }
+    }
+
+    /** A transaction with signature bits retired: schedule rebuilds. */
+    void
+    noteRetire(DomainId d)
+    {
+        if (!enabled())
+            return;
+        assert(d < _domains.size());
+        _domains[d].dirty = true;
+        _global.dirty = true;
+    }
+
+    /** Probe the domain union (rebuilding it first if stale). */
+    bool
+    mayContain(DomainId d, Addr line,
+               const std::vector<TxDesc *> &domain_active)
+    {
+        assert(enabled() && d < _domains.size());
+        return probe(_domains[d], line, domain_active);
+    }
+
+    /** Probe the global union (rebuilding it first if stale). */
+    bool
+    mayContainAny(Addr line, const std::vector<TxDesc *> &all_active)
+    {
+        assert(enabled());
+        return probe(_global, line, all_active);
+    }
+
+    void
+    reset()
+    {
+        for (auto &e : _domains)
+            e.dirty = true;
+        _global.dirty = true;
+    }
+
+  private:
+    struct Entry
+    {
+        BloomSignature sig{64, 1};
+        /** Total member inserts the union was built from. */
+        std::uint64_t builtInserts = 0;
+        /** Stale unions rebuild lazily on the next probe. */
+        bool dirty = true;
+    };
+
+    static std::uint64_t
+    memberInserts(const std::vector<TxDesc *> &members)
+    {
+        std::uint64_t n = 0;
+        for (const TxDesc *t : members)
+            n += t->readSig.inserts() + t->writeSig.inserts();
+        return n;
+    }
+
+    static bool
+    probe(Entry &e, Addr line, const std::vector<TxDesc *> &members)
+    {
+        const std::uint64_t inserts = memberInserts(members);
+        if (e.dirty || inserts != e.builtInserts) {
+            e.sig.clear();
+            for (const TxDesc *t : members) {
+                e.sig.unionWith(t->readSig);
+                e.sig.unionWith(t->writeSig);
+            }
+            e.builtInserts = inserts;
+            e.dirty = false;
+        }
+        return !e.sig.empty() && e.sig.mayContain(line);
+    }
+
+    unsigned _bits = 0;
+    unsigned _hashes = 0;
+    Entry _global;
+    std::vector<Entry> _domains;
+};
 
 /**
  * A conflict domain: a group of transactions sharing one address space
@@ -59,6 +207,7 @@ class Tss
         d.name = std::move(name);
         _domains.push_back(std::move(d));
         _activeByDomain.emplace_back();
+        _summaries.addDomain();
         return id;
     }
 
@@ -88,6 +237,10 @@ class Tss
         _byId.erase(tx->id);
         eraseFrom(_active, tx);
         eraseFrom(_activeByDomain[tx->domain], tx);
+        // Only transactions that contributed signature bits stale the
+        // summary unions.
+        if (tx->readSig.inserts() || tx->writeSig.inserts())
+            _summaries.noteRetire(tx->domain);
     }
 
     /** Active descriptor by id, or nullptr (stale ids prune to null). */
@@ -109,6 +262,36 @@ class Tss
         return _activeByDomain[d];
     }
 
+    /** Enable the domain summary filters (call before any begin). */
+    void
+    configureSummaries(unsigned bits, unsigned hashes)
+    {
+        _summaries.configure(bits, hashes);
+    }
+
+    bool summariesEnabled() const { return _summaries.enabled(); }
+
+    /** Mirror a member-signature insert into the summary filters. */
+    void
+    noteSigInsert(DomainId d, Addr line)
+    {
+        _summaries.noteInsert(d, line);
+    }
+
+    /** One-probe union check over a domain's active transactions. */
+    bool
+    summaryMayContain(DomainId d, Addr line)
+    {
+        return _summaries.mayContain(d, line, _activeByDomain[d]);
+    }
+
+    /** One-probe union check over all active transactions. */
+    bool
+    summaryMayContainAny(Addr line)
+    {
+        return _summaries.mayContainAny(line, _active);
+    }
+
     void
     reset()
     {
@@ -120,6 +303,7 @@ class Tss
             d.lockHolder = kNoTx;
             d.waiters.clear();
         }
+        _summaries.reset();
     }
 
   private:
@@ -133,10 +317,11 @@ class Tss
         }
     }
 
-    std::unordered_map<TxId, TxDesc *> _byId;
+    LineMap<TxDesc *> _byId;
     std::vector<TxDesc *> _active;
     std::vector<std::vector<TxDesc *>> _activeByDomain;
     std::vector<ConflictDomain> _domains;
+    TxSummaryTable _summaries;
 };
 
 } // namespace uhtm

@@ -17,12 +17,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "htm/config.hh"
 #include "htm/signature.hh"
+#include "sim/line_map.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -62,34 +61,34 @@ struct TxDesc
 
     Tick beginTick = 0;
 
-    /** Speculative write buffer: full line images, copy-on-first-write. */
-    std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>>
-        writeBuffer;
+    /** Speculative write buffer: full line images, copy-on-first-write.
+     *  Flat line-keyed map (sim/line_map.hh): allocation-free inserts
+     *  and cache-friendly probes on the per-access functional path. */
+    LineMap<std::array<std::uint8_t, kLineBytes>> writeBuffer;
 
     /** Pre-images captured at copy-on-first-write (lost-update audit:
      *  if the architectural line changed under us without a conflict
      *  abort, the isolation protocol has a hole). */
-    std::unordered_map<Addr, std::array<std::uint8_t, kLineBytes>>
-        preImage;
+    LineMap<std::array<std::uint8_t, kLineBytes>> preImage;
 
-    /** Precise sets (line base addresses). */
-    std::unordered_set<Addr> readSet;
-    std::unordered_set<Addr> writeSet;
+    /** Precise sets (line base addresses), insertion-ordered. */
+    LineSet readSet;
+    LineSet writeSet;
 
     /** Off-chip (LLC-overflowed) membership, for tests/accounting. */
-    std::unordered_set<Addr> overflowedLines;
+    LineSet overflowedLines;
 
     /**
      * Overflow list: addresses of L1-evicted write-set lines, used to
      * locate the write set in the LLC / DRAM cache at commit and abort
      * without scanning them (paper Section IV-B). Stored in the DRAM
-     * cache; walks are charged DRAM latency.
+     * cache; walks are charged DRAM latency. The LineSet doubles as
+     * the list (insertion order) and its membership index.
      */
-    std::vector<Addr> overflowList;
-    std::unordered_set<Addr> overflowListMembers;
+    LineSet overflowList;
 
     /** DRAM lines overflowed under redo-mode (read indirection). */
-    std::unordered_set<Addr> redoDramLines;
+    LineSet redoDramLines;
 
     /** Address signatures for off-chip detection. */
     BloomSignature readSig;
@@ -136,8 +135,7 @@ struct TxDesc
     void
     noteOverflowListEntry(Addr line)
     {
-        if (overflowListMembers.insert(line).second)
-            overflowList.push_back(line);
+        overflowList.insert(line);
     }
 };
 

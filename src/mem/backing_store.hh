@@ -6,6 +6,14 @@
  * BackingStore holds the actual bytes of the simulated machine while the
  * cache/controller models only account for time and conflicts. Pages are
  * allocated lazily so multi-GiB address spaces cost only what is touched.
+ *
+ * Hot-path layout: the page table is a flat open-addressing map
+ * (sim/line_map.hh) instead of a node-based unordered_map, and the most
+ * recently used page is memoized — the functional half of every
+ * simulated access hits read64/write64/readLine, and those accesses are
+ * overwhelmingly page-local, so the common case is one compare plus a
+ * direct byte copy with no hashing at all. Page storage is stable
+ * (unique_ptr-owned), so the memo survives table growth.
  */
 
 #ifndef UHTM_MEM_BACKING_STORE_HH
@@ -15,9 +23,9 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 
 #include "check/persist_probe.hh"
+#include "sim/line_map.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -32,8 +40,24 @@ class BackingStore
     BackingStore() = default;
     BackingStore(const BackingStore &) = delete;
     BackingStore &operator=(const BackingStore &) = delete;
-    BackingStore(BackingStore &&) = default;
-    BackingStore &operator=(BackingStore &&) = default;
+
+    BackingStore(BackingStore &&o) noexcept
+        : _pages(std::move(o._pages)), _probe(o._probe)
+    {
+        o.dropMemo();
+    }
+
+    BackingStore &
+    operator=(BackingStore &&o) noexcept
+    {
+        if (this != &o) {
+            _pages = std::move(o._pages);
+            _probe = o._probe;
+            dropMemo();
+            o.dropMemo();
+        }
+        return *this;
+    }
 
     /** Read @p len bytes at @p a into @p out. Unwritten bytes read 0. */
     void
@@ -44,11 +68,11 @@ class BackingStore
             const Addr page = pageBase(a);
             const std::size_t off = a - page;
             const std::size_t n = std::min(len, kPageBytes - off);
-            auto it = _pages.find(page);
-            if (it == _pages.end())
+            const Page *p = lookupPage(page);
+            if (!p)
                 std::memset(dst, 0, n);
             else
-                std::memcpy(dst, it->second->data() + off, n);
+                std::memcpy(dst, p->data() + off, n);
             a += n;
             dst += n;
             len -= n;
@@ -76,6 +100,12 @@ class BackingStore
     read64(Addr a) const
     {
         std::uint64_t v = 0;
+        if ((a & 7) == 0) {
+            // An aligned word never straddles a page.
+            if (const Page *p = lookupPage(pageBase(a)))
+                std::memcpy(&v, p->data() + (a & (kPageBytes - 1)), 8);
+            return v;
+        }
         read(a, &v, sizeof(v));
         return v;
     }
@@ -84,6 +114,11 @@ class BackingStore
     void
     write64(Addr a, std::uint64_t v)
     {
+        if ((a & 7) == 0) {
+            std::memcpy(pageFor(pageBase(a)).data() + (a & (kPageBytes - 1)),
+                        &v, 8);
+            return;
+        }
         write(a, &v, sizeof(v));
     }
 
@@ -91,6 +126,17 @@ class BackingStore
     void
     readLine(Addr line_base, std::uint8_t out[kLineBytes]) const
     {
+        if ((line_base & (kLineBytes - 1)) == 0) {
+            // kPageBytes is a multiple of kLineBytes: no straddle.
+            const Page *p = lookupPage(pageBase(line_base));
+            if (!p)
+                std::memset(out, 0, kLineBytes);
+            else
+                std::memcpy(out,
+                            p->data() + (line_base & (kPageBytes - 1)),
+                            kLineBytes);
+            return;
+        }
         read(line_base, out, kLineBytes);
     }
 
@@ -103,6 +149,12 @@ class BackingStore
         if (_probe) {
             _probe->notifyPersist(PersistPoint::InPlaceNvmWrite,
                                   line_base, 0, in);
+        }
+        if ((line_base & (kLineBytes - 1)) == 0) {
+            std::memcpy(pageFor(pageBase(line_base)).data() +
+                            (line_base & (kPageBytes - 1)),
+                        in, kLineBytes);
+            return;
         }
         write(line_base, in, kLineBytes);
     }
@@ -118,7 +170,12 @@ class BackingStore
     std::size_t pageCount() const { return _pages.size(); }
 
     /** Drop all contents. */
-    void clear() { _pages.clear(); }
+    void
+    clear()
+    {
+        _pages.clear();
+        dropMemo();
+    }
 
     /**
      * Deep-copy another store's contents into this one (used by crash
@@ -128,6 +185,7 @@ class BackingStore
     copyFrom(const BackingStore &o)
     {
         _pages.clear();
+        dropMemo();
         for (const auto &[base, page] : o._pages)
             _pages.emplace(base, std::make_unique<Page>(*page));
     }
@@ -135,23 +193,54 @@ class BackingStore
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;
 
+    static constexpr Addr kNoPage = ~static_cast<Addr>(0);
+
     static Addr
     pageBase(Addr a)
     {
         return a & ~static_cast<Addr>(kPageBytes - 1);
     }
 
+    void
+    dropMemo() const
+    {
+        _memoBase = kNoPage;
+        _memoPage = nullptr;
+    }
+
+    /** Existing page at @p base, or nullptr; refreshes the MRU memo. */
+    const Page *
+    lookupPage(Addr base) const
+    {
+        if (base == _memoBase)
+            return _memoPage;
+        auto it = _pages.find(base);
+        if (it == _pages.end())
+            return nullptr;
+        _memoBase = base;
+        _memoPage = it->second.get();
+        return _memoPage;
+    }
+
     Page &
     pageFor(Addr base)
     {
+        if (base == _memoBase)
+            return *_memoPage;
         auto it = _pages.find(base);
         if (it == _pages.end())
             it = _pages.emplace(base, std::make_unique<Page>()).first;
-        return *it->second;
+        _memoBase = base;
+        _memoPage = it->second.get();
+        return *_memoPage;
     }
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+    LineMap<std::unique_ptr<Page>> _pages;
     PersistProbe *_probe = nullptr;
+
+    /** MRU page memo (mutable: reads refresh it too). */
+    mutable Addr _memoBase = kNoPage;
+    mutable Page *_memoPage = nullptr;
 };
 
 } // namespace uhtm

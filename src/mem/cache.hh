@@ -13,11 +13,13 @@
 #ifndef UHTM_MEM_CACHE_HH
 #define UHTM_MEM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "mem/layout.hh"
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -44,8 +46,11 @@ struct CacheLine
     /**
      * Transactions that transactionally read this line (directory
      * Tx-Sharer list; in an L1 at most the local transaction).
+     * Small-buffer optimized: nearly all lines have <= 2 transactional
+     * readers, so the common case never heap-allocates — LLC fills and
+     * evictions copy whole CacheLine values on the hot path.
      */
-    std::vector<TxId> txReaders;
+    SmallVec<TxId, 2> txReaders;
 
     /** LRU timestamp (larger = more recently used). */
     std::uint64_t lru = 0;
@@ -163,7 +168,16 @@ class Cache
     /** Invalidate @p line_base if present. */
     void invalidate(Addr line_base);
 
-    /** Invoke @p fn on every valid line (tests, scans). */
+    /**
+     * Invoke @p fn on every valid line (tests, scans).
+     *
+     * Ordering contract: lines are visited in physical layout order
+     * (set-major, then way) — deterministic for a fixed operation
+     * history, but dependent on placement and replacement decisions.
+     * Callers whose side effects must not depend on cache geometry
+     * (e.g. anything feeding the deterministic bench JSON) use
+     * forEachLineSorted instead.
+     */
     template <typename Fn>
     void
     forEachLine(Fn &&fn)
@@ -171,6 +185,30 @@ class Cache
         for (auto &line : _lines)
             if (line.valid)
                 fn(line);
+    }
+
+    /**
+     * Invoke @p fn on every valid line in ascending address (tag)
+     * order. Canonical: the visit order is a pure function of the set
+     * of resident lines, independent of sets/ways/LRU history. @p fn
+     * may mutate or reset the visited line, but must not allocate or
+     * invalidate other lines.
+     */
+    template <typename Fn>
+    void
+    forEachLineSorted(Fn &&fn)
+    {
+        std::vector<CacheLine *> valid;
+        valid.reserve(_lines.size());
+        for (auto &line : _lines)
+            if (line.valid)
+                valid.push_back(&line);
+        std::sort(valid.begin(), valid.end(),
+                  [](const CacheLine *a, const CacheLine *b) {
+                      return a->tag < b->tag;
+                  });
+        for (CacheLine *line : valid)
+            fn(*line);
     }
 
     /** Drop all contents and statistics. */

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "check/persist_probe.hh"
+#include "sim/line_map.hh"
 #include "mem/backing_store.hh"
 #include "sim/types.hh"
 
@@ -312,7 +313,8 @@ class RedoLogArea
     struct TxLog
     {
         std::vector<RedoEntry> entries;
-        std::unordered_map<Addr, std::size_t> lines;
+        /** Line -> index of its latest entry (flat hot-path map). */
+        LineMap<std::size_t> lines;
         bool committed = false;
         bool aborted = false;
         std::uint64_t commitSeq = 0;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/persist_probe.hh"
+#include "sim/line_map.hh"
 #include "sim/types.hh"
 
 namespace uhtm
@@ -174,7 +175,8 @@ class UndoLogArea
     struct TxLog
     {
         std::vector<UndoEntry> entries;
-        std::unordered_map<Addr, std::size_t> lines;
+        /** Line -> index of its latest entry (flat hot-path map). */
+        LineMap<std::size_t> lines;
     };
 
     void

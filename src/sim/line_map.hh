@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Allocation-free flat hash containers for 64-bit keys (cache-line
+ * numbers, transaction ids, page bases).
+ *
+ * The simulator's per-transaction bookkeeping (read/write sets, write
+ * buffers, log line indices) and several registry maps used to live in
+ * node-based `std::unordered_*` containers: every insert was a heap
+ * allocation and every lookup a pointer chase through a bucket chain.
+ * LineMap/LineSet replace them with open addressing over two dense
+ * vectors:
+ *
+ *   - `_entries`: the elements, in insertion order (dense, cache-line
+ *     friendly, and the iteration order);
+ *   - `_index`:   a power-of-two open-addressing table of 32-bit slots
+ *     mapping hash(key) to an entry position (linear probing).
+ *
+ * Iteration-order contract (relied on by the deterministic bench JSON):
+ * elements iterate in insertion order; `erase` moves the last element
+ * into the erased position (swap-with-last), so after an erase the
+ * order is "insertion order with the most recent element relocated".
+ * The order is a pure function of the operation sequence — never of
+ * hash seeds, pointer values or allocator state.
+ *
+ * Keys are arbitrary 64-bit values including 0 (emptiness is tracked in
+ * the index table, not with a key sentinel). Values must be movable.
+ */
+
+#ifndef UHTM_SIM_LINE_MAP_HH
+#define UHTM_SIM_LINE_MAP_HH
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Fixed (unseeded) splitmix64 finalizer: the probe hash. */
+constexpr std::uint64_t
+flatHash64(std::uint64_t k)
+{
+    k += 0x9e3779b97f4a7c15ull;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return k ^ (k >> 31);
+}
+
+namespace detail
+{
+
+/**
+ * Open-addressing index over an externally stored dense entry array.
+ * Slot encoding: 0 = empty, kTomb = tombstone, else entry position + 1.
+ */
+class FlatIndex
+{
+  public:
+    static constexpr std::uint32_t kTomb = 0xffffffffu;
+    static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
+
+    bool empty() const { return _slots.empty(); }
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** Slot holding @p key, or kNoSlot. @p keyAt maps position→key. */
+    template <typename KeyAt>
+    std::size_t
+    findSlot(std::uint64_t key, KeyAt &&keyAt) const
+    {
+        if (_slots.empty())
+            return kNoSlot;
+        const std::uint64_t mask = _slots.size() - 1;
+        std::uint64_t i = flatHash64(key) & mask;
+        while (true) {
+            const std::uint32_t s = _slots[i];
+            if (s == 0)
+                return kNoSlot;
+            if (s != kTomb && keyAt(s - 1) == key)
+                return i;
+            i = (i + 1) & mask;
+        }
+    }
+
+    /**
+     * Slot to insert @p key into (first tombstone on the probe path, or
+     * the trailing empty slot). The key must not be present.
+     */
+    std::size_t
+    insertSlot(std::uint64_t key) const
+    {
+        const std::uint64_t mask = _slots.size() - 1;
+        std::uint64_t i = flatHash64(key) & mask;
+        std::size_t tomb = kNoSlot;
+        while (_slots[i] != 0) {
+            if (_slots[i] == kTomb && tomb == kNoSlot)
+                tomb = i;
+            i = (i + 1) & mask;
+        }
+        return tomb != kNoSlot ? tomb : i;
+    }
+
+    void
+    set(std::size_t slot, std::uint32_t pos_plus_1)
+    {
+        _slots[slot] = pos_plus_1;
+    }
+
+    std::uint32_t at(std::size_t slot) const { return _slots[slot]; }
+
+    void
+    makeTombstone(std::size_t slot)
+    {
+        _slots[slot] = kTomb;
+        ++_tombstones;
+    }
+
+    /**
+     * Slot on @p key's probe path holding exactly @p pos_plus_1 (which
+     * must exist). Used by erase to re-point the relocated last entry
+     * without re-reading a moved-from element.
+     */
+    std::size_t
+    slotOf(std::uint64_t key, std::uint32_t pos_plus_1) const
+    {
+        const std::uint64_t mask = _slots.size() - 1;
+        std::uint64_t i = flatHash64(key) & mask;
+        while (_slots[i] != pos_plus_1)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    /** True if an insert should trigger a rebuild first. */
+    bool
+    needsGrowth(std::size_t live) const
+    {
+        // Keep (live + tombstones) under 3/4 of capacity so probe
+        // sequences stay short.
+        return _slots.empty() ||
+               (live + _tombstones + 1) * 4 > _slots.size() * 3;
+    }
+
+    /** Rebuild with room for @p live entries; reindex via @p keyAt. */
+    template <typename KeyAt>
+    void
+    rebuild(std::size_t live, KeyAt &&keyAt)
+    {
+        std::size_t cap = 16;
+        // Size for 2x the live count so growth is amortized.
+        while (cap * 3 < (live + 1) * 8)
+            cap <<= 1;
+        _slots.assign(cap, 0);
+        _tombstones = 0;
+        for (std::size_t p = 0; p < live; ++p)
+            set(insertSlot(keyAt(p)), static_cast<std::uint32_t>(p + 1));
+    }
+
+    void
+    clear()
+    {
+        _slots.clear();
+        _tombstones = 0;
+    }
+
+  private:
+    std::vector<std::uint32_t> _slots;
+    std::size_t _tombstones = 0;
+};
+
+} // namespace detail
+
+/**
+ * Flat open-addressing map from a 64-bit key to V with insertion-order
+ * iteration (see the file comment for the exact ordering contract).
+ *
+ * The interface mirrors the `std::unordered_map` subset the simulator
+ * uses: find/emplace/at/count/contains/erase/clear/size and iteration
+ * over `std::pair<Addr, V>` entries. Iterators and references are
+ * invalidated by any insert or erase (unlike unordered_map — do not
+ * hold them across mutations).
+ */
+template <typename V>
+class LineMap
+{
+  public:
+    using Entry = std::pair<Addr, V>;
+    using iterator = typename std::vector<Entry>::iterator;
+    using const_iterator = typename std::vector<Entry>::const_iterator;
+
+    iterator begin() { return _entries.begin(); }
+    iterator end() { return _entries.end(); }
+    const_iterator begin() const { return _entries.begin(); }
+    const_iterator end() const { return _entries.end(); }
+
+    std::size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+
+    iterator
+    find(Addr key)
+    {
+        const std::size_t slot = _index.findSlot(key, keyAt());
+        return slot == detail::FlatIndex::kNoSlot
+                   ? _entries.end()
+                   : _entries.begin() + (_index.at(slot) - 1);
+    }
+
+    const_iterator
+    find(Addr key) const
+    {
+        const std::size_t slot = _index.findSlot(key, keyAt());
+        return slot == detail::FlatIndex::kNoSlot
+                   ? _entries.end()
+                   : _entries.begin() + (_index.at(slot) - 1);
+    }
+
+    std::size_t count(Addr key) const { return contains(key) ? 1 : 0; }
+
+    bool
+    contains(Addr key) const
+    {
+        return _index.findSlot(key, keyAt()) != detail::FlatIndex::kNoSlot;
+    }
+
+    V &
+    at(Addr key)
+    {
+        auto it = find(key);
+        assert(it != end() && "LineMap::at: missing key");
+        return it->second;
+    }
+
+    const V &
+    at(Addr key) const
+    {
+        auto it = find(key);
+        assert(it != end() && "LineMap::at: missing key");
+        return it->second;
+    }
+
+    /** Insert (key, V(args...)) if absent; like unordered_map::emplace. */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    emplace(Addr key, Args &&...args)
+    {
+        {
+            const std::size_t slot = _index.findSlot(key, keyAt());
+            if (slot != detail::FlatIndex::kNoSlot)
+                return {_entries.begin() + (_index.at(slot) - 1), false};
+        }
+        if (_index.needsGrowth(_entries.size()))
+            _index.rebuild(_entries.size(), keyAt());
+        _entries.emplace_back(
+            std::piecewise_construct, std::forward_as_tuple(key),
+            std::forward_as_tuple(std::forward<Args>(args)...));
+        _index.set(_index.insertSlot(key),
+                   static_cast<std::uint32_t>(_entries.size()));
+        return {_entries.end() - 1, true};
+    }
+
+    V &operator[](Addr key) { return emplace(key).first->second; }
+
+    /** Erase @p key (swap-with-last). @return number erased (0 or 1). */
+    std::size_t
+    erase(Addr key)
+    {
+        const std::size_t slot = _index.findSlot(key, keyAt());
+        if (slot == detail::FlatIndex::kNoSlot)
+            return 0;
+        const std::size_t pos = _index.at(slot) - 1;
+        _index.makeTombstone(slot);
+        const std::size_t last = _entries.size() - 1;
+        if (pos != last) {
+            const Addr movedKey = _entries[last].first;
+            const std::size_t moved = _index.slotOf(
+                movedKey, static_cast<std::uint32_t>(last + 1));
+            _entries[pos] = std::move(_entries[last]);
+            _index.set(moved, static_cast<std::uint32_t>(pos + 1));
+        }
+        _entries.pop_back();
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        _entries.clear();
+        _index.clear();
+    }
+
+  private:
+    /** Position→key functor over the dense entries. */
+    struct KeyAt
+    {
+        const std::vector<Entry> *entries;
+        std::uint64_t
+        operator()(std::size_t p) const
+        {
+            return (*entries)[p].first;
+        }
+    };
+
+    KeyAt keyAt() const { return KeyAt{&_entries}; }
+
+    std::vector<Entry> _entries;
+    detail::FlatIndex _index;
+};
+
+/**
+ * Flat open-addressing set of 64-bit keys (line numbers / line base
+ * addresses) with insertion-order iteration. Same ordering contract and
+ * invalidation rules as LineMap.
+ */
+class LineSet
+{
+  public:
+    using const_iterator = std::vector<Addr>::const_iterator;
+
+    const_iterator begin() const { return _keys.begin(); }
+    const_iterator end() const { return _keys.end(); }
+
+    std::size_t size() const { return _keys.size(); }
+    bool empty() const { return _keys.empty(); }
+
+    /** @return true if @p key was newly inserted. */
+    bool
+    insert(Addr key)
+    {
+        {
+            const std::size_t slot = _index.findSlot(key, keyAt());
+            if (slot != detail::FlatIndex::kNoSlot)
+                return false;
+        }
+        if (_index.needsGrowth(_keys.size()))
+            _index.rebuild(_keys.size(), keyAt());
+        _keys.push_back(key);
+        _index.set(_index.insertSlot(key),
+                   static_cast<std::uint32_t>(_keys.size()));
+        return true;
+    }
+
+    std::size_t count(Addr key) const { return contains(key) ? 1 : 0; }
+
+    bool
+    contains(Addr key) const
+    {
+        return _index.findSlot(key, keyAt()) != detail::FlatIndex::kNoSlot;
+    }
+
+    /** Erase @p key (swap-with-last). @return number erased (0 or 1). */
+    std::size_t
+    erase(Addr key)
+    {
+        const std::size_t slot = _index.findSlot(key, keyAt());
+        if (slot == detail::FlatIndex::kNoSlot)
+            return 0;
+        const std::size_t pos = _index.at(slot) - 1;
+        _index.makeTombstone(slot);
+        const std::size_t last = _keys.size() - 1;
+        if (pos != last) {
+            const std::size_t moved = _index.slotOf(
+                _keys[last], static_cast<std::uint32_t>(last + 1));
+            _keys[pos] = _keys[last];
+            _index.set(moved, static_cast<std::uint32_t>(pos + 1));
+        }
+        _keys.pop_back();
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        _keys.clear();
+        _index.clear();
+    }
+
+  private:
+    /** Position→key functor over the dense key array. */
+    struct KeyAt
+    {
+        const std::vector<Addr> *keys;
+        std::uint64_t
+        operator()(std::size_t p) const
+        {
+            return (*keys)[p];
+        }
+    };
+
+    KeyAt keyAt() const { return KeyAt{&_keys}; }
+
+    std::vector<Addr> _keys;
+    detail::FlatIndex _index;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_LINE_MAP_HH

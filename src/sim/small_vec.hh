@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Small-buffer-optimized vector for short, hot element lists.
+ *
+ * CacheLine::txReaders holds the directory's Tx-Sharer list; in
+ * practice almost every line has zero, one or two transactional
+ * readers, yet `std::vector` heap-allocates for the first push and the
+ * allocation churn shows up in every LLC fill/eviction copy. SmallVec
+ * stores up to N elements inline and only spills to a heap vector
+ * beyond that; elements stay contiguous either way (the spill vector,
+ * once created, holds *all* elements).
+ */
+
+#ifndef UHTM_SIM_SMALL_VEC_HH
+#define UHTM_SIM_SMALL_VEC_HH
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace uhtm
+{
+
+/** Inline-storage vector of trivially copyable T (N inline slots). */
+template <typename T, unsigned N>
+class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &o) : _inline(o._inline), _size(o._size)
+    {
+        if (o._spill)
+            _spill = std::make_unique<std::vector<T>>(*o._spill);
+    }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o) {
+            _inline = o._inline;
+            _size = o._size;
+            _spill = o._spill
+                         ? std::make_unique<std::vector<T>>(*o._spill)
+                         : nullptr;
+        }
+        return *this;
+    }
+
+    SmallVec(SmallVec &&o) noexcept
+        : _inline(o._inline), _size(o._size), _spill(std::move(o._spill))
+    {
+        o._size = 0;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            _inline = o._inline;
+            _size = o._size;
+            _spill = std::move(o._spill);
+            o._size = 0;
+        }
+        return *this;
+    }
+
+    std::size_t size() const { return _spill ? _spill->size() : _size; }
+    bool empty() const { return size() == 0; }
+
+    const T *
+    data() const
+    {
+        return _spill ? _spill->data() : _inline.data();
+    }
+
+    T *data() { return _spill ? _spill->data() : _inline.data(); }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size(); }
+    T *begin() { return data(); }
+    T *end() { return data() + size(); }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &back() { return data()[size() - 1]; }
+    const T &back() const { return data()[size() - 1]; }
+
+    void
+    push_back(T v)
+    {
+        if (_spill) {
+            _spill->push_back(v);
+            return;
+        }
+        if (_size < N) {
+            _inline[_size++] = v;
+            return;
+        }
+        _spill = std::make_unique<std::vector<T>>();
+        _spill->reserve(N * 2);
+        _spill->assign(_inline.begin(), _inline.end());
+        _spill->push_back(v);
+    }
+
+    void
+    pop_back()
+    {
+        assert(!empty());
+        if (_spill)
+            _spill->pop_back();
+        else
+            --_size;
+    }
+
+    void
+    clear()
+    {
+        _spill.reset();
+        _size = 0;
+    }
+
+  private:
+    std::array<T, N> _inline{};
+    std::uint32_t _size = 0;
+    /** Once spilled, holds all elements; _size is then unused. */
+    std::unique_ptr<std::vector<T>> _spill;
+};
+
+} // namespace uhtm
+
+#endif // UHTM_SIM_SMALL_VEC_HH

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the flat hot-path containers: LineMap/LineSet
+ * (collisions, growth, erase semantics, deterministic iteration),
+ * SmallVec (inline/spill transitions) and the BackingStore MRU page
+ * memo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/line_map.hh"
+#include "sim/random.hh"
+#include "sim/small_vec.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+/** Keys whose probe hashes collide in a 16-slot table. */
+std::vector<Addr>
+collidingKeys(std::size_t n)
+{
+    std::vector<Addr> keys;
+    const std::uint64_t target = flatHash64(1) & 15;
+    for (Addr k = 1; keys.size() < n; ++k)
+        if ((flatHash64(k) & 15) == target)
+            keys.push_back(k);
+    return keys;
+}
+
+TEST(LineMap, BasicInsertFindErase)
+{
+    LineMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_TRUE(m.emplace(0x40, 1).second);
+    EXPECT_FALSE(m.emplace(0x40, 2).second) << "duplicate insert";
+    EXPECT_EQ(m.at(0x40), 1);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.count(0x40), 1u);
+    EXPECT_EQ(m.count(0x80), 0u);
+    EXPECT_TRUE(m.find(0x80) == m.end());
+    EXPECT_EQ(m.erase(0x40), 1u);
+    EXPECT_EQ(m.erase(0x40), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(LineMap, ZeroIsAValidKey)
+{
+    LineMap<int> m;
+    EXPECT_TRUE(m.emplace(0, 7).second);
+    EXPECT_EQ(m.at(0), 7);
+    EXPECT_EQ(m.erase(0), 1u);
+    EXPECT_FALSE(m.contains(0));
+}
+
+TEST(LineMap, CollidingKeysProbeCorrectly)
+{
+    // All keys share one initial probe slot: every operation walks the
+    // collision chain.
+    const auto keys = collidingKeys(8);
+    LineMap<int> m;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        m.emplace(keys[i], static_cast<int>(i));
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(m.at(keys[i]), static_cast<int>(i));
+    // Erase from the middle of the chain; the rest must stay findable
+    // (tombstones keep probe paths intact).
+    EXPECT_EQ(m.erase(keys[3]), 1u);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i == 3)
+            EXPECT_FALSE(m.contains(keys[i]));
+        else
+            EXPECT_EQ(m.at(keys[i]), static_cast<int>(i));
+    }
+    // Reinsert through the tombstone.
+    EXPECT_TRUE(m.emplace(keys[3], 33).second);
+    EXPECT_EQ(m.at(keys[3]), 33);
+}
+
+TEST(LineMap, GrowthKeepsAllEntries)
+{
+    LineMap<std::uint64_t> m;
+    std::map<Addr, std::uint64_t> ref;
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr k = (rng.next() % 8192) << kLineShift;
+        m.emplace(k, static_cast<std::uint64_t>(i));
+        ref.emplace(k, static_cast<std::uint64_t>(i));
+    }
+    ASSERT_EQ(m.size(), ref.size());
+    for (const auto &[k, v] : ref)
+        EXPECT_EQ(m.at(k), v);
+}
+
+TEST(LineMap, RandomizedChurnMatchesReference)
+{
+    LineMap<std::uint64_t> m;
+    std::map<Addr, std::uint64_t> ref;
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr k = rng.next() % 512; // dense: lots of hits/erases
+        if (rng.next() & 1) {
+            EXPECT_EQ(m.emplace(k, i).second, ref.emplace(k, i).second);
+        } else {
+            EXPECT_EQ(m.erase(k), ref.erase(k));
+        }
+        if ((i & 1023) == 0) {
+            ASSERT_EQ(m.size(), ref.size());
+            for (const auto &[key, val] : ref)
+                ASSERT_EQ(m.at(key), val);
+        }
+    }
+}
+
+TEST(LineMap, IterationIsInsertionOrder)
+{
+    LineMap<int> m;
+    const std::vector<Addr> keys = {0x1c0, 0x40, 0xfc0, 0x80, 0x400};
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        m.emplace(keys[i], static_cast<int>(i));
+    std::vector<Addr> seen;
+    for (const auto &[k, v] : m)
+        seen.push_back(k);
+    EXPECT_EQ(seen, keys);
+}
+
+TEST(LineMap, EraseSwapsLastIntoHole)
+{
+    LineMap<int> m;
+    for (Addr k = 1; k <= 5; ++k)
+        m.emplace(k << kLineShift, static_cast<int>(k));
+    m.erase(2 << kLineShift);
+    std::vector<Addr> seen;
+    for (const auto &[k, v] : m)
+        seen.push_back(k >> kLineShift);
+    // Documented contract: the last element (5) moves into the hole.
+    EXPECT_EQ(seen, (std::vector<Addr>{1, 5, 3, 4}));
+    // And it is still findable at its new position.
+    EXPECT_EQ(m.at(5 << kLineShift), 5);
+}
+
+TEST(LineMap, ClearThenReuse)
+{
+    LineMap<int> m;
+    for (Addr k = 0; k < 100; ++k)
+        m.emplace(k << kLineShift, 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.contains(0));
+    EXPECT_TRUE(m.emplace(0x40, 2).second);
+    EXPECT_EQ(m.at(0x40), 2);
+}
+
+TEST(LineSet, InsertContainsErase)
+{
+    LineSet s;
+    EXPECT_TRUE(s.insert(0x40));
+    EXPECT_FALSE(s.insert(0x40)) << "duplicate";
+    EXPECT_TRUE(s.contains(0x40));
+    EXPECT_EQ(s.count(0x40), 1u);
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_TRUE(s.insert(0));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.erase(0x40), 1u);
+    EXPECT_EQ(s.erase(0x40), 0u);
+    EXPECT_TRUE(s.contains(0));
+}
+
+TEST(LineSet, RandomizedChurnMatchesReference)
+{
+    LineSet s;
+    std::set<Addr> ref;
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr k = (rng.next() % 1024) << kLineShift;
+        if (rng.next() & 1)
+            EXPECT_EQ(s.insert(k), ref.insert(k).second);
+        else
+            EXPECT_EQ(s.erase(k), ref.erase(k));
+    }
+    ASSERT_EQ(s.size(), ref.size());
+    for (Addr k : s)
+        EXPECT_TRUE(ref.count(k));
+}
+
+TEST(LineSet, DeterministicIterationAcrossInstances)
+{
+    // Same operation sequence => identical iteration order, regardless
+    // of when each instance was constructed (no per-instance seeds).
+    auto build = [] {
+        LineSet s;
+        Rng rng(33);
+        for (int i = 0; i < 1000; ++i)
+            s.insert((rng.next() % 256) << kLineShift);
+        for (int i = 0; i < 100; ++i)
+            s.erase((rng.next() % 256) << kLineShift);
+        return std::vector<Addr>(s.begin(), s.end());
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(SmallVec, InlineUntilSpill)
+{
+    SmallVec<std::uint64_t, 2> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_EQ(v.size(), 2u);
+    v.push_back(3); // spill
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(v[1], 2u);
+    EXPECT_EQ(v[2], 3u);
+    EXPECT_EQ(v.back(), 3u);
+    v.pop_back();
+    EXPECT_EQ(v.size(), 2u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(9);
+    EXPECT_EQ(v[0], 9u);
+}
+
+TEST(SmallVec, CopyAndMoveSemantics)
+{
+    SmallVec<int, 2> a;
+    for (int i = 0; i < 5; ++i)
+        a.push_back(i);
+    SmallVec<int, 2> b = a; // deep copy of the spill
+    a.push_back(99);
+    ASSERT_EQ(b.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(b[i], i);
+    SmallVec<int, 2> c = std::move(a);
+    EXPECT_EQ(c.size(), 6u);
+    EXPECT_EQ(c.back(), 99);
+    b = c;
+    EXPECT_EQ(b.size(), 6u);
+    // Swap-remove pattern used by CacheLine::removeTxReader.
+    b[0] = b.back();
+    b.pop_back();
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0], 99);
+}
+
+TEST(BackingStore, MemoServesPageLocalAccesses)
+{
+    BackingStore store;
+    // Interleave two pages so the memo is repeatedly displaced.
+    const Addr p0 = 0x10000, p1 = 0x20000;
+    for (Addr off = 0; off < 4096; off += 8) {
+        store.write64(p0 + off, off);
+        store.write64(p1 + off, off + 1);
+    }
+    for (Addr off = 0; off < 4096; off += 8) {
+        EXPECT_EQ(store.read64(p0 + off), off);
+        EXPECT_EQ(store.read64(p1 + off), off + 1);
+    }
+    EXPECT_EQ(store.pageCount(), 2u);
+    // Unwritten pages still read zero through the fast path.
+    EXPECT_EQ(store.read64(0x30000), 0u);
+    EXPECT_EQ(store.pageCount(), 2u) << "reads must not materialize pages";
+}
+
+TEST(BackingStore, LineOpsMatchByteOps)
+{
+    BackingStore store;
+    std::array<std::uint8_t, kLineBytes> in{}, out{};
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        in[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    const Addr line = 0x7fc0; // last line of a page: no straddle
+    store.writeLine(line, in.data());
+    store.readLine(line, out.data());
+    EXPECT_EQ(in, out);
+    // Byte-granular read crossing the page boundary still works.
+    std::uint8_t two[2] = {0, 0};
+    store.read(line + kLineBytes - 1, two, 2);
+    EXPECT_EQ(two[0], in[kLineBytes - 1]);
+    EXPECT_EQ(two[1], 0);
+}
+
+TEST(BackingStore, ClearAndCopyFromInvalidateMemo)
+{
+    BackingStore store;
+    store.write64(0x1000, 42); // memo now points at this page
+    store.clear();
+    EXPECT_EQ(store.read64(0x1000), 0u) << "stale memo after clear";
+    store.write64(0x1000, 7);
+
+    BackingStore other;
+    other.write64(0x1000, 1234);
+    store.copyFrom(other);
+    EXPECT_EQ(store.read64(0x1000), 1234u) << "stale memo after copyFrom";
+    // Deep copy: mutating the copy must not touch the source.
+    store.write64(0x1000, 5678);
+    EXPECT_EQ(other.read64(0x1000), 1234u);
+
+    BackingStore moved = std::move(store);
+    EXPECT_EQ(moved.read64(0x1000), 5678u);
+}
+
+} // namespace
+} // namespace uhtm

@@ -105,6 +105,64 @@ TEST(Signature, AllBytesOfALineMapTogether)
     EXPECT_TRUE(sig.mayContain(0x103f));
 }
 
+TEST(Signature, GeometryIsValidatedAndRoundedUp)
+{
+    // Non-power-of-two sizes round up (the bit-index mask requires a
+    // power of two); sub-minimum sizes clamp to one 64-bit word.
+    EXPECT_EQ(BloomSignature::effectiveBits(100), 128u);
+    EXPECT_EQ(BloomSignature::effectiveBits(0), 64u);
+    EXPECT_EQ(BloomSignature::effectiveBits(1), 64u);
+    EXPECT_EQ(BloomSignature::effectiveBits(64), 64u);
+    EXPECT_EQ(BloomSignature::effectiveBits(2048), 2048u);
+    EXPECT_EQ(BloomSignature::effectiveBits(2049), 4096u);
+
+    EXPECT_EQ(BloomSignature(100, 4).bits(), 128u);
+    EXPECT_EQ(BloomSignature(0, 4).bits(), 64u);
+    EXPECT_EQ(BloomSignature(2048, 4).bits(), 2048u);
+    // Zero hash functions would make every probe a vacuous hit.
+    EXPECT_EQ(BloomSignature(2048, 0).hashes(), 1u);
+
+    // A rounded-up filter still works end to end.
+    BloomSignature sig(100, 3);
+    sig.insert(0x1000);
+    EXPECT_TRUE(sig.mayContain(0x1000));
+}
+
+TEST(Signature, EmptyTracksInsertsExactly)
+{
+    BloomSignature sig(512, 4);
+    EXPECT_TRUE(sig.empty());
+    sig.insert(0x40);
+    EXPECT_FALSE(sig.empty());
+    EXPECT_EQ(sig.inserts(), 1u);
+    sig.clear();
+    EXPECT_TRUE(sig.empty());
+    EXPECT_EQ(sig.inserts(), 0u);
+}
+
+TEST(Signature, UnionWithIsSupersetOfBothMembers)
+{
+    BloomSignature a(512, 4), b(512, 4), u(512, 4);
+    Rng rng(17);
+    std::vector<Addr> lines;
+    for (int i = 0; i < 64; ++i) {
+        const Addr line = lineAlign(rng.next());
+        lines.push_back(line);
+        (i & 1 ? a : b).insert(line);
+    }
+    u.unionWith(a);
+    u.unionWith(b);
+    for (Addr line : lines)
+        EXPECT_TRUE(u.mayContain(line));
+    EXPECT_EQ(u.inserts(), a.inserts() + b.inserts());
+
+    // Union with an empty member is a no-op.
+    BloomSignature e(512, 4);
+    const std::uint64_t before = u.inserts();
+    u.unionWith(e);
+    EXPECT_EQ(u.inserts(), before);
+}
+
 TEST(Signature, SaturatedFilterHitsEverything)
 {
     BloomSignature sig(512, 4);
