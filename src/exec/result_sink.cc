@@ -5,6 +5,7 @@
 
 #include "exec/json.hh"
 #include "htm/config.hh"
+#include "obs/metrics.hh"
 
 namespace uhtm::exec
 {
@@ -114,6 +115,48 @@ writeMetrics(JsonWriter &w, const RunMetrics &m)
     w.endObject();
 }
 
+void
+writeDistSnapshot(JsonWriter &w, const obs::DistSnapshot &d)
+{
+    w.beginObject();
+    w.field("count", d.count);
+    w.field("mean", d.mean);
+    w.field("min", d.min);
+    w.field("max", d.max);
+    w.field("stddev", d.stddev);
+    std::size_t last = d.log2Hist.size();
+    while (last > 0 && d.log2Hist[last - 1] == 0)
+        --last;
+    w.key("log2_hist");
+    w.beginArray();
+    for (std::size_t i = 0; i < last; ++i)
+        w.value(d.log2Hist[i]);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeMetricsSnapshot(JsonWriter &w, const obs::MetricsSnapshot &s)
+{
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[k, v] : s.counters)
+        w.field(k, v);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[k, v] : s.gauges)
+        w.field(k, v);
+    w.endObject();
+    w.key("distributions");
+    w.beginObject();
+    for (const auto &[k, d] : s.distributions) {
+        w.key(k);
+        writeDistSnapshot(w, d);
+    }
+    w.endObject();
+}
+
 } // namespace
 
 ResultSink::ResultSink(std::string benchName, std::uint64_t sweepSeed,
@@ -152,9 +195,46 @@ ResultSink::json(const std::vector<JobResult> &results) const
 }
 
 std::string
-ResultSink::writeTo(const std::string &dir,
-                    const std::vector<JobResult> &results,
-                    std::string *err) const
+ResultSink::metricsJson(const std::vector<JobResult> &results) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "uhtm-metrics-v1");
+    w.field("bench", _name);
+    w.field("sweep_seed", _sweepSeed);
+    writeStringMap(w, "sweep_config", _sweepConfig);
+
+    // Submission order, like the bench file: results arrive ordered by
+    // the scheduler regardless of --jobs, so these bytes are stable.
+    obs::MetricsSnapshot aggregate;
+    w.key("jobs");
+    w.beginArray();
+    for (const JobResult &r : results) {
+        w.beginObject();
+        w.field("key", r.key);
+        w.field("ok", r.ok);
+        if (r.ok) {
+            writeMetricsSnapshot(w, r.metrics.registry);
+            aggregate.merge(r.metrics.registry);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("aggregate");
+    w.beginObject();
+    writeMetricsSnapshot(w, aggregate);
+    w.endObject();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+namespace
+{
+
+std::string
+writeFileTo(const std::string &dir, const std::string &file_name,
+            const std::string &body, std::string *err)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -164,14 +244,13 @@ ResultSink::writeTo(const std::string &dir,
             *err = "cannot create " + dir + ": " + ec.message();
         return "";
     }
-    const std::string path = (fs::path(dir) / fileName()).string();
+    const std::string path = (fs::path(dir) / file_name).string();
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f) {
         if (err)
             *err = "cannot open " + path;
         return "";
     }
-    const std::string body = json(results);
     const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
                     body.size();
     std::fclose(f);
@@ -181,6 +260,24 @@ ResultSink::writeTo(const std::string &dir,
         return "";
     }
     return path;
+}
+
+} // namespace
+
+std::string
+ResultSink::writeTo(const std::string &dir,
+                    const std::vector<JobResult> &results,
+                    std::string *err) const
+{
+    return writeFileTo(dir, fileName(), json(results), err);
+}
+
+std::string
+ResultSink::writeMetricsTo(const std::string &dir,
+                           const std::vector<JobResult> &results,
+                           std::string *err) const
+{
+    return writeFileTo(dir, metricsFileName(), metricsJson(results), err);
 }
 
 } // namespace uhtm::exec

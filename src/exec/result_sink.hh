@@ -74,6 +74,27 @@ class ResultSink
                         const std::vector<JobResult> &results,
                         std::string *err) const;
 
+    /**
+     * Serialize the observability sidecar (schema uhtm-metrics-v1):
+     * per-job hierarchical counters/gauges/distributions from
+     * RunMetrics::registry plus a deterministic "aggregate" merge over
+     * all ok jobs. Lives next to — never inside — the frozen
+     * uhtm-bench-v1 file, so bench bytes are identical with metrics on
+     * or off.
+     */
+    std::string metricsJson(const std::vector<JobResult> &results) const;
+
+    /** Sidecar file name: "METRICS_<name>.json". */
+    std::string metricsFileName() const
+    {
+        return "METRICS_" + _name + ".json";
+    }
+
+    /** Write the metrics sidecar into @p dir (like writeTo). */
+    std::string writeMetricsTo(const std::string &dir,
+                               const std::vector<JobResult> &results,
+                               std::string *err) const;
+
   private:
     std::string _name;
     std::uint64_t _sweepSeed;

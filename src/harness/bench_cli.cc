@@ -9,6 +9,7 @@
 
 #include "exec/result_sink.hh"
 #include "exec/scheduler.hh"
+#include "obs/tracer.hh"
 
 namespace uhtm
 {
@@ -56,7 +57,11 @@ benchFlagsHelp()
            "  --quick       reduced sweep points\n"
            "  --tiny        miniature smoke/sanitizer configs\n"
            "  --tx=N        transactions per worker (--ops= alias)\n"
-           "  --scanmb=N    fig8 long-scan size in MiB\n";
+           "  --scanmb=N    fig8 long-scan size in MiB\n"
+           "  --metrics     also write METRICS_<figure>.json (needs "
+           "--out)\n"
+           "  --trace=DIR   record binary event traces into DIR "
+           "(uhtm_trace reads them)\n";
 }
 
 bool
@@ -83,6 +88,10 @@ parseBenchArgs(int argc, char **argv, int firstArg, BenchCliOpts &opts,
             opts.outDir = arg.substr(6);
         } else if (arg.rfind("--filter=", 0) == 0) {
             opts.filter = arg.substr(9);
+        } else if (arg == "--metrics") {
+            opts.metrics = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opts.traceDir = arg.substr(8);
         } else {
             err = "unknown argument: " + arg;
             return false;
@@ -107,6 +116,9 @@ runFigure(const figures::Figure &figure, const BenchCliOpts &opts)
                      figure.name.c_str(), opts.filter.c_str());
         return 1;
     }
+
+    if (!opts.traceDir.empty())
+        obs::setTraceDir(opts.traceDir);
 
     exec::SweepScheduler scheduler({opts.jobs, opts.fig.seed});
     const auto t0 = std::chrono::steady_clock::now();
@@ -139,6 +151,17 @@ runFigure(const figures::Figure &figure, const BenchCliOpts &opts)
             return 1;
         }
         std::printf("wrote %s\n", path.c_str());
+
+        if (opts.metrics) {
+            const std::string mpath =
+                sink.writeMetricsTo(opts.outDir, results, &err);
+            if (mpath.empty()) {
+                std::fprintf(stderr, "metrics emission failed: %s\n",
+                             err.c_str());
+                return 1;
+            }
+            std::printf("wrote %s\n", mpath.c_str());
+        }
     }
 
     // Host-side summary (never part of the deterministic JSON).

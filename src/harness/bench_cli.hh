@@ -15,6 +15,10 @@
  *   --tiny        miniature smoke/sanitizer configs
  *   --tx=N        transactions per worker (--ops= is an alias)
  *   --scanmb=N    fig8 long-scan size in MiB
+ *   --metrics     also write METRICS_<figure>.json next to the bench
+ *                 JSON (hierarchical observability metrics sidecar)
+ *   --trace=DIR   record binary lifecycle-event traces into DIR
+ *                 (one .uhtmtrace file per run; read with uhtm_trace)
  */
 
 #ifndef UHTM_HARNESS_BENCH_CLI_HH
@@ -37,6 +41,10 @@ struct BenchCliOpts
     std::string outDir;
     /** Substring filter on job keys; empty = all. */
     std::string filter;
+    /** Also write the METRICS_<figure>.json sidecar (needs --out). */
+    bool metrics = false;
+    /** Binary lifecycle-event trace directory; empty = no tracing. */
+    std::string traceDir;
 };
 
 /**

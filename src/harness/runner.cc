@@ -2,12 +2,22 @@
 
 #include <cassert>
 
+#include "obs/collect.hh"
+
 namespace uhtm
 {
 
 Runner::Runner(MachineConfig mcfg, HtmPolicy policy, std::uint64_t seed)
     : _sys(_eq, mcfg, policy), _seed(seed)
 {
+    // Binary event tracing is opt-in (UHTM_OBS_TRACE / --trace=DIR):
+    // one tracer per run, one file per run, spilled as it fills.
+    const std::string &dir = obs::traceDir();
+    if (!dir.empty()) {
+        _tracer = std::make_unique<obs::Tracer>(
+            obs::nextTraceFilePath(dir, seed), seed);
+        _sys.setTracer(_tracer.get());
+    }
 }
 
 DomainId
@@ -99,6 +109,13 @@ Runner::run()
         m.txPerSec = static_cast<double>(m.committedTxs) / m.simSeconds;
         m.opsPerSec = static_cast<double>(m.committedOps) / m.simSeconds;
     }
+
+    obs::MetricsRegistry reg;
+    obs::collectSystemMetrics(_sys, reg);
+    m.registry = reg.snapshot();
+
+    if (_tracer)
+        _tracer->flush();
     return m;
 }
 

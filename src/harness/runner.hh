@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "htm/tx_context.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "sim/stats.hh"
 #include "workloads/region_alloc.hh"
 
@@ -66,6 +68,10 @@ struct RunMetrics
     /** Experiment-specific named scalars (e.g. the latency figure's
      *  measured access times). Emitted into the JSON output. */
     StatSet extra;
+
+    /** Hierarchical component metrics collected at end of run. Goes
+     *  into the METRICS sidecar only, never the frozen bench JSON. */
+    obs::MetricsSnapshot registry;
 
     /** Per-domain operation throughput over the domain's own runtime
      *  (fixed-work runs end at different times per benchmark). */
@@ -139,6 +145,8 @@ class Runner
     std::uint64_t _seed;
     CoreId _nextCore = 0;
     std::vector<std::unique_ptr<Slot>> _slots;
+    /** Lifecycle-event tracer, attached when obs::traceDir() is set. */
+    std::unique_ptr<obs::Tracer> _tracer;
 };
 
 } // namespace uhtm

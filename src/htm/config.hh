@@ -64,6 +64,10 @@ enum class AbortCause
     Explicit,
 };
 
+/** Number of AbortCause values (sizes per-cause count arrays). */
+inline constexpr unsigned kAbortCauseCount =
+    static_cast<unsigned>(AbortCause::Explicit) + 1;
+
 /** Printable abort-cause name. */
 inline const char *
 abortCauseName(AbortCause c)

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "htm/htm_system.hh"
+#include "obs/tracer.hh"
 #include "sim/trace.hh"
 
 namespace uhtm
@@ -127,6 +128,14 @@ HtmSystem::offChipConflictCheck(Addr line, TxDesc *req,
                 ++_stats.sigHits;
                 if (!truth)
                     ++_stats.sigFalseHits;
+                UHTM_OBS_EVENT(_obs, _eq.now(),
+                               obs::EventKind::SigCheckHit,
+                               obs::kEvNoCore, v->id, line, 0,
+                               truth ? 0 : obs::kEvFlag0);
+            } else {
+                UHTM_OBS_EVENT(_obs, _eq.now(),
+                               obs::EventKind::SigCheckMiss,
+                               obs::kEvNoCore, v->id, line);
             }
         }
         if (!hit)
@@ -261,6 +270,9 @@ HtmSystem::handleChipEviction(const CacheLine &ev, Tick t)
                     ++writer->undoRecords;
                     const Tick r = _dramCtrl.access(t, false);
                     _dramCtrl.access(r, true, true);
+                    UHTM_OBS_EVENT(_obs, t,
+                                   obs::EventKind::UndoLogAppend,
+                                   obs::kEvNoCore, writer->id, line);
                 }
                 _dramCtrl.access(t, true); // speculative in-place write
             } else {
@@ -277,6 +289,8 @@ HtmSystem::handleChipEviction(const CacheLine &ev, Tick t)
             DramCacheEntry *e = _dramCache.insert(line, writer->id);
             e->data = img;
             _dramCtrl.access(t, true);
+            UHTM_OBS_EVENT(_obs, t, obs::EventKind::DramCacheFill,
+                           obs::kEvNoCore, writer->id, line);
         }
     } else if (ev.dirty) {
         writebackToMemory(line, t);
@@ -421,6 +435,8 @@ HtmSystem::issueAccess(CoreId core, DomainId domain, Addr addr,
                 } else {
                     t = _nvmCtrl.access(t, false);
                     _dramCache.insert(line, kNoTx); // cache the NVM line
+                    UHTM_OBS_EVENT(_obs, t, obs::EventKind::DramCacheFill,
+                                   obs::kEvNoCore, kNoTx, line);
                 }
             }
             CacheLine evicted;
@@ -509,9 +525,14 @@ HtmSystem::issueAccess(CoreId core, DomainId domain, Addr addr,
                     // controller's completion.
                     dur += kBrokenLogFlushLag;
                 }
-                _redoLog.append(tx->id, line, buf, dur);
+                const bool coalesced =
+                    !_redoLog.append(tx->id, line, buf, dur);
                 if (dur > tx->logsDurableAt)
                     tx->logsDurableAt = dur;
+                UHTM_OBS_EVENT(_obs, _eq.now(),
+                               obs::EventKind::RedoLogAppend,
+                               static_cast<std::uint16_t>(core), tx->id,
+                               line, 0, coalesced ? obs::kEvFlag0 : 0);
             }
         } else {
             ++tx->reads;

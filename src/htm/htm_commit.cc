@@ -19,6 +19,7 @@
 
 #include "check/fault_injector.hh"
 #include "htm/htm_system.hh"
+#include "obs/tracer.hh"
 #include "sim/trace.hh"
 
 namespace uhtm
@@ -32,6 +33,8 @@ HtmSystem::issueCommit(CoreId core)
     assert(!tx->abortRequested && "doomed transaction must abort");
     tx->status = TxStatus::Committing;
     const Tick start = _eq.now();
+    UHTM_OBS_EVENT(_obs, start, obs::EventKind::TxCommitStart,
+                   static_cast<std::uint16_t>(core), tx->id, 0);
 
     // Locate the write set: write bits in the L1, then the overflow
     // list (stored in the DRAM cache) for everything L1-evicted.
@@ -50,6 +53,7 @@ HtmSystem::issueCommit(CoreId core)
 
     Tick t_nvm = t;
     Tick commit_durable_at = 0;
+    Tick log_drain = 0; ///< commit stall waiting for redo durability
     if (!nvm_lines.empty()) {
         if (_breakCommitMarkOrdering) {
             // Deliberately broken ordering (test-only, see
@@ -63,6 +67,8 @@ HtmSystem::issueCommit(CoreId core)
         } else {
             // Wait until all redo records are durable, then persist
             // the commit record — the transaction's durability point.
+            log_drain =
+                tx->logsDurableAt > t_nvm ? tx->logsDurableAt - t_nvm : 0;
             t_nvm = std::max(t_nvm, tx->logsDurableAt);
             t_nvm = _nvmCtrl.access(t_nvm, true, true);
             commit_durable_at = t_nvm;
@@ -119,6 +125,10 @@ HtmSystem::issueCommit(CoreId core)
                 DramCacheEntry *e = _dramCache.insert(line, kNoTx);
                 e->data = buf;
                 e->dirty = true;
+                UHTM_OBS_EVENT(_obs, _eq.now(),
+                               obs::EventKind::DramCacheFill,
+                               static_cast<std::uint16_t>(core), tx->id,
+                               line);
             }
         }
     }
@@ -157,6 +167,14 @@ HtmSystem::issueCommit(CoreId core)
     _stats.commitProtocolNs.sample(nsFromTicks(done - start));
     _stats.txFootprintBytes.sample(
         static_cast<double>(tx->footprintBytes()));
+
+    const Tick overflow_at = tx->overflowTick ? tx->overflowTick : start;
+    _abortProfiler.noteCommit(overflow_at - tx->beginTick,
+                              start - overflow_at, done - start,
+                              log_drain);
+    UHTM_OBS_EVENT(_obs, start, obs::EventKind::TxCommitDone,
+                   static_cast<std::uint16_t>(core), tx->id,
+                   done - start);
 
     UHTM_TRACE(kTx, _eq.now(),
                "tx %llu commit (%zu lines, %zu overflow, done+%.0fns)",
@@ -244,6 +262,14 @@ HtmSystem::issueAbort(CoreId core)
     }
 
     _stats.abortProtocolNs.sample(nsFromTicks(t - start));
+
+    const Tick overflow_at = tx->overflowTick ? tx->overflowTick : start;
+    _abortProfiler.noteAbort(core, tx->abortCause,
+                             overflow_at - tx->beginTick,
+                             start - overflow_at, t - start);
+    UHTM_OBS_EVENT(_obs, start, obs::EventKind::TxAbort,
+                   static_cast<std::uint16_t>(core), tx->id, t - start,
+                   static_cast<std::uint32_t>(tx->abortCause));
 
     UHTM_TRACE(kTx, _eq.now(), "tx %llu aborted (%s, by %llu)",
                (unsigned long long)tx->id,

@@ -10,6 +10,7 @@
 #include <cassert>
 
 #include "check/fault_injector.hh"
+#include "obs/tracer.hh"
 #include "sim/trace.hh"
 
 namespace uhtm
@@ -47,11 +48,29 @@ HtmSystem::HtmSystem(EventQueue &eq, MachineConfig mcfg, HtmPolicy policy)
     _dramCache.setWriteBack(
         [this](Addr line, const std::array<std::uint8_t, kLineBytes> &b) {
             const Tick done = _nvmCtrl.access(_eq.now(), true);
+            UHTM_OBS_EVENT(_obs, _eq.now(), obs::EventKind::NvmWriteBack,
+                           obs::kEvNoCore, kNoTx, line);
             auto bytes = b;
             _eq.scheduleAt(done, [this, line, bytes] {
                 _durableNvm.writeLine(line, bytes.data());
             });
         });
+}
+
+void
+HtmSystem::setTracer(obs::Tracer *t)
+{
+    _obs = t;
+    if (t) {
+        _dramCache.setEvictHook([this](Addr line, int reason) {
+            UHTM_OBS_EVENT(_obs, _eq.now(),
+                           obs::EventKind::DramCacheEvict, obs::kEvNoCore,
+                           kNoTx, line,
+                           static_cast<std::uint32_t>(reason));
+        });
+    } else {
+        _dramCache.setEvictHook({});
+    }
 }
 
 HtmSystem::~HtmSystem() = default;
@@ -83,6 +102,10 @@ HtmSystem::makeTx(CoreId core, DomainId domain, int attempt,
     UHTM_TRACE(kTx, _eq.now(), "tx %llu begin core=%u dom=%u%s",
                (unsigned long long)id, core, domain,
                serialized ? " serialized" : "");
+    UHTM_OBS_EVENT(_obs, _eq.now(), obs::EventKind::TxBegin,
+                   static_cast<std::uint16_t>(core), id, domain,
+                   static_cast<std::uint32_t>(attempt),
+                   serialized ? obs::kEvFlag0 : 0);
     return ptr;
 }
 
@@ -209,6 +232,8 @@ HtmSystem::suspendTx(CoreId core)
     ++_stats.contextSwitches;
     UHTM_TRACE(kTx, _eq.now(), "tx %llu suspended from core %u",
                (unsigned long long)tx->id, core);
+    UHTM_OBS_EVENT(_obs, _eq.now(), obs::EventKind::TxSuspend,
+                   static_cast<std::uint16_t>(core), tx->id, 0);
     return tx->id;
 }
 
@@ -224,6 +249,8 @@ HtmSystem::resumeTx(CoreId core, TxId id)
     _coreTx[core] = tx;
     UHTM_TRACE(kTx, _eq.now(), "tx %llu resumed on core %u",
                (unsigned long long)id, core);
+    UHTM_OBS_EVENT(_obs, _eq.now(), obs::EventKind::TxResume,
+                   static_cast<std::uint16_t>(core), id, 0);
 }
 
 bool
@@ -284,9 +311,15 @@ HtmSystem::markOverflowed(TxDesc *tx)
 {
     if (!tx->overflowed) {
         tx->overflowed = true;
+        tx->overflowTick = _eq.now();
         ++_stats.overflowedTxs;
         UHTM_TRACE(kTx, _eq.now(), "tx %llu overflowed",
                    (unsigned long long)tx->id);
+        UHTM_OBS_EVENT(_obs, _eq.now(), obs::EventKind::TxOverflow,
+                       tx->core == kNoCore
+                           ? obs::kEvNoCore
+                           : static_cast<std::uint16_t>(tx->core),
+                       tx->id, 0);
     }
 }
 
@@ -382,6 +415,7 @@ void
 HtmSystem::resetStats()
 {
     _stats = HtmStats{};
+    _abortProfiler = obs::AbortProfiler{};
 }
 
 void

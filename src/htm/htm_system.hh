@@ -42,6 +42,7 @@
 #include "mem/mem_ctrl.hh"
 #include "mem/redo_log.hh"
 #include "mem/undo_log.hh"
+#include "obs/abort_profile.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -50,6 +51,11 @@ namespace uhtm
 {
 
 class FaultInjector;
+
+namespace obs
+{
+class Tracer;
+}
 
 /** Aggregate HTM statistics for one run. */
 struct HtmStats
@@ -313,6 +319,21 @@ class HtmSystem
     HtmStats &stats() { return _stats; }
     const HtmStats &stats() const { return _stats; }
 
+    /**
+     * Attach (or with nullptr detach) a lifecycle-event tracer. Pure
+     * observation: simulated timing and results are identical with and
+     * without one (CI enforces this byte-for-byte on the bench JSON).
+     */
+    void setTracer(obs::Tracer *t);
+
+    obs::Tracer *tracer() const { return _obs; }
+
+    /** Abort-attribution/stage-accounting profile (always collected). */
+    const obs::AbortProfiler &abortProfiler() const
+    {
+        return _abortProfiler;
+    }
+
     /** Reset statistics (after warmup). */
     void resetStats();
 
@@ -414,6 +435,9 @@ class HtmSystem
 
     TxId _nextTxId = 1;
     HtmStats _stats;
+
+    obs::Tracer *_obs = nullptr;
+    obs::AbortProfiler _abortProfiler;
 
     FaultInjector *_faultInjector = nullptr;
     bool _breakCommitMarkOrdering = false;

@@ -61,6 +61,9 @@ struct TxDesc
 
     Tick beginTick = 0;
 
+    /** When the first line left the on-chip caches (0 = never). */
+    Tick overflowTick = 0;
+
     /** Speculative write buffer: full line images, copy-on-first-write.
      *  Flat line-keyed map (sim/line_map.hh): allocation-free inserts
      *  and cache-friendly probes on the per-access functional path. */

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/event.hh"
+
 namespace uhtm
 {
 
@@ -61,18 +63,22 @@ void
 DramCache::evict(DramCacheEntry &victim)
 {
     ++_stats.evictions;
+    int reason = obs::kEvictClean;
     if (victim.invalidated) {
         // Aborted data: drop silently.
+        reason = obs::kEvictInvalidatedDrop;
     } else if (victim.tx != kNoTx) {
         // Uncommitted line forced out; its bytes remain recoverable from
         // the redo log, so it is safe (if slow) to drop it here.
         ++_stats.uncommittedDrops;
+        reason = obs::kEvictUncommittedDrop;
         if (_probe) {
             _probe->notifyPersist(PersistPoint::DramCacheDrop, victim.tag,
                                   0, nullptr);
         }
     } else if (victim.dirty) {
         ++_stats.writeBacks;
+        reason = obs::kEvictWriteBack;
         if (_probe) {
             _probe->notifyPersist(PersistPoint::DramCacheWriteback,
                                   victim.tag, 0, victim.data.data());
@@ -80,6 +86,8 @@ DramCache::evict(DramCacheEntry &victim)
         if (_writeBack)
             _writeBack(victim.tag, victim.data);
     }
+    if (_evictHook)
+        _evictHook(victim.tag, reason);
     victim = DramCacheEntry{};
 }
 

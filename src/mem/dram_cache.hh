@@ -77,6 +77,15 @@ class DramCache
     /** Install the in-place write-back hook. */
     void setWriteBack(WriteBackFn fn) { _writeBack = std::move(fn); }
 
+    /**
+     * Observation hook fired on every eviction with the victim line
+     * and an obs::EvictReason code. Purely diagnostic: must not touch
+     * simulated state.
+     */
+    using EvictHookFn = std::function<void(Addr line_base, int reason)>;
+
+    void setEvictHook(EvictHookFn fn) { _evictHook = std::move(fn); }
+
     /** Attach a persistence probe (write-backs and drops). */
     void setProbe(PersistProbe *probe) { _probe = probe; }
 
@@ -146,6 +155,7 @@ class DramCache
     std::vector<DramCacheEntry> _entries;
     std::uint64_t _lruClock = 0;
     WriteBackFn _writeBack;
+    EvictHookFn _evictHook;
     PersistProbe *_probe = nullptr;
     Stats _stats;
 };

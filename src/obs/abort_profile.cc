@@ -1,0 +1,42 @@
+#include "obs/abort_profile.hh"
+
+namespace uhtm::obs
+{
+
+void
+AbortProfiler::exportTo(MetricsRegistry &reg,
+                        const std::string &prefix) const
+{
+    for (unsigned c = 0; c < kCauses; ++c) {
+        const auto cause = static_cast<AbortCause>(c);
+        const StageTicks &s = _abort[c];
+        if (cause == AbortCause::None && s.count == 0)
+            continue; // "none" never fires; keep the export tidy
+        const std::string base =
+            prefix + ".aborts." + abortClassName(cause);
+        reg.counter(base) = s.count;
+        reg.counter(base + ".onchip_ticks") = s.onChip;
+        reg.counter(base + ".overflowed_ticks") = s.overflowed;
+        reg.counter(base + ".protocol_ticks") = s.protocol;
+    }
+
+    const std::string cs = prefix + ".commit_stages";
+    reg.counter(cs + ".count") = _commit.count;
+    reg.counter(cs + ".onchip_ticks") = _commit.onChip;
+    reg.counter(cs + ".overflowed_ticks") = _commit.overflowed;
+    reg.counter(cs + ".protocol_ticks") = _commit.protocol;
+    reg.counter(cs + ".log_drain_ticks") = _commit.logDrain;
+
+    for (std::size_t core = 0; core < _perCore.size(); ++core) {
+        for (unsigned c = 0; c < kCauses; ++c) {
+            if (_perCore[core][c] == 0)
+                continue;
+            reg.counter("core" + std::to_string(core) + "." + prefix +
+                        ".aborts." +
+                        abortClassName(static_cast<AbortCause>(c))) =
+                _perCore[core][c];
+        }
+    }
+}
+
+} // namespace uhtm::obs

@@ -1,0 +1,97 @@
+#include "obs/collect.hh"
+
+#include "htm/htm_system.hh"
+
+namespace uhtm::obs
+{
+
+namespace
+{
+
+void
+putCache(MetricsRegistry &reg, const std::string &base,
+         const Cache::Stats &s)
+{
+    reg.counter(base + ".hits") = s.hits;
+    reg.counter(base + ".misses") = s.misses;
+    reg.counter(base + ".evictions") = s.evictions;
+    reg.counter(base + ".tx_evictions") = s.txEvictions;
+    reg.counter(base + ".evictions_nvm") = s.evictionsNvm;
+}
+
+void
+putMemCtrl(MetricsRegistry &reg, const std::string &base,
+           const MemCtrl::Stats &s)
+{
+    reg.counter(base + ".reads") = s.reads;
+    reg.counter(base + ".writes") = s.writes;
+    reg.counter(base + ".log_writes") = s.logWrites;
+    reg.counter(base + ".busy_ticks") = s.busyTicks;
+    reg.counter(base + ".queue_delay_ticks") = s.queueDelay;
+}
+
+} // namespace
+
+void
+collectSystemMetrics(HtmSystem &sys, MetricsRegistry &reg)
+{
+    const HtmStats &h = sys.stats();
+
+    reg.counter("htm.tx_begins") = h.txBegins;
+    reg.counter("htm.commits") = h.commits;
+    reg.counter("htm.serialized_commits") = h.serializedCommits;
+    reg.counter("htm.lock_acquisitions") = h.lockAcquisitions;
+    reg.counter("htm.aborts_total") = h.totalAborts();
+    reg.counter("htm.overflowed_txs") = h.overflowedTxs;
+    reg.counter("htm.llc_tx_evictions") = h.llcTxEvictions;
+    reg.counter("htm.llc_tx_write_evictions") = h.llcTxWriteEvictions;
+    reg.counter("htm.llc_tx_read_evictions") = h.llcTxReadEvictions;
+    reg.counter("htm.sig_checks") = h.sigChecks;
+    reg.counter("htm.sig_hits") = h.sigHits;
+    reg.counter("htm.sig_false_hits") = h.sigFalseHits;
+    reg.counter("htm.summary_probes") = h.summaryProbes;
+    reg.counter("htm.summary_skips") = h.summarySkips;
+    reg.counter("htm.sig_probes_avoided") = h.sigProbesAvoided;
+    reg.counter("htm.context_switches") = h.contextSwitches;
+    reg.counter("htm.log_expansions") = h.logExpansions;
+    reg.gauge("htm.abort_rate") = h.abortRate();
+
+    reg.setDistribution("htm.commit_protocol_ns", h.commitProtocolNs);
+    reg.setDistribution("htm.abort_protocol_ns", h.abortProtocolNs);
+    reg.setDistribution("htm.tx_footprint_bytes", h.txFootprintBytes);
+    reg.setDistribution("htm.sig_inserts_per_tx", h.sigInsertsPerTx);
+
+    sys.abortProfiler().exportTo(reg, "htm");
+
+    for (unsigned c = 0; c < sys.machine().cores; ++c)
+        putCache(reg, "l1." + std::to_string(c), sys.l1(c).stats());
+    putCache(reg, "llc", sys.llc().stats());
+
+    putMemCtrl(reg, "dram", sys.dramCtrl().stats());
+    putMemCtrl(reg, "nvm", sys.nvmCtrl().stats());
+
+    const DramCache::Stats &dc = sys.dramCache().stats();
+    reg.counter("dram_cache.hits") = dc.hits;
+    reg.counter("dram_cache.misses") = dc.misses;
+    reg.counter("dram_cache.evictions") = dc.evictions;
+    reg.counter("dram_cache.uncommitted_drops") = dc.uncommittedDrops;
+    reg.counter("dram_cache.write_backs") = dc.writeBacks;
+    reg.counter("dram_cache.invalidations") = dc.invalidations;
+
+    const UndoLogArea::Stats &ul = sys.undoLog().stats();
+    reg.counter("log.undo.appends") = ul.appends;
+    reg.counter("log.undo.commit_marks") = ul.commitMarks;
+    reg.counter("log.undo.restores") = ul.restores;
+    reg.counter("log.undo.reclaimed") = ul.reclaimed;
+    reg.counter("log.undo.peak_bytes") = ul.peakBytes;
+
+    const RedoLogArea::Stats &rl = sys.redoLog().stats();
+    reg.counter("log.redo.appends") = rl.appends;
+    reg.counter("log.redo.coalesced") = rl.coalesced;
+    reg.counter("log.redo.commits") = rl.commits;
+    reg.counter("log.redo.aborts") = rl.aborts;
+    reg.counter("log.redo.reclaimed") = rl.reclaimed;
+    reg.counter("log.redo.peak_bytes") = rl.peakBytes;
+}
+
+} // namespace uhtm::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * End-of-run metric collection: walks a simulated HtmSystem and
+ * publishes every component's statistics into a MetricsRegistry under
+ * the hierarchical naming scheme documented in README "Observability".
+ *
+ * Collection is read-only and happens once per run (never on a hot
+ * path), so the simulation is bit-identical whether or not metrics are
+ * collected — the METRICS sidecar is additive next to the frozen
+ * BENCH JSON.
+ */
+
+#ifndef UHTM_OBS_COLLECT_HH
+#define UHTM_OBS_COLLECT_HH
+
+#include "obs/metrics.hh"
+
+namespace uhtm
+{
+
+class HtmSystem;
+
+namespace obs
+{
+
+/**
+ * Publish @p sys's statistics into @p reg:
+ *   htm.*                 protocol counters + distributions
+ *   htm.aborts.<class>    abort attribution (+ per-stage ticks)
+ *   htm.commit_stages.*   commit-side stage accounting
+ *   core<i>.htm.aborts.*  per-core abort attribution
+ *   l1.<i>.*, llc.*       cache hit/miss/eviction counters
+ *   dram.*, nvm.*         memory-controller traffic and occupancy
+ *   dram_cache.*          DRAM-cache fills/evictions/write-backs
+ *   log.undo.*, log.redo.* log-area activity
+ */
+void collectSystemMetrics(HtmSystem &sys, MetricsRegistry &reg);
+
+} // namespace obs
+} // namespace uhtm
+
+#endif // UHTM_OBS_COLLECT_HH

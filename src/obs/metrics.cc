@@ -1,0 +1,102 @@
+#include "obs/metrics.hh"
+
+#include <cassert>
+
+namespace uhtm::obs
+{
+
+DistSnapshot::DistSnapshot(const Distribution &d)
+    : count(d.count()), mean(d.mean()), min(d.min()), max(d.max()),
+      stddev(d.stddev()), log2Hist(d.histogram())
+{
+}
+
+void
+DistSnapshot::merge(const DistSnapshot &o)
+{
+    if (o.count == 0)
+        return;
+    if (count == 0) {
+        *this = o;
+        return;
+    }
+    const double na = static_cast<double>(count);
+    const double nb = static_cast<double>(o.count);
+    const double delta = o.mean - mean;
+    const double m2 = na * stddev * stddev + nb * o.stddev * o.stddev +
+                      delta * delta * na * nb / (na + nb);
+    count += o.count;
+    mean = (na * mean + nb * o.mean) / (na + nb);
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    stddev = std::sqrt(m2 / static_cast<double>(count));
+    for (std::size_t i = 0; i < log2Hist.size(); ++i)
+        log2Hist[i] += o.log2Hist[i];
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &o)
+{
+    for (const auto &[k, v] : o.counters)
+        counters[k] += v;
+    for (const auto &[k, v] : o.gauges)
+        gauges[k] += v;
+    for (const auto &[k, v] : o.distributions)
+        distributions[k].merge(v);
+}
+
+std::uint64_t &
+MetricsRegistry::counter(const std::string &path)
+{
+    assert(validPath(path));
+    return _counters[path];
+}
+
+double &
+MetricsRegistry::gauge(const std::string &path)
+{
+    assert(validPath(path));
+    return _gauges[path];
+}
+
+Distribution &
+MetricsRegistry::distribution(const std::string &path)
+{
+    assert(validPath(path));
+    return _dists[path];
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    s.counters = _counters;
+    s.gauges = _gauges;
+    for (const auto &[k, d] : _dists)
+        s.distributions.emplace(k, DistSnapshot(d));
+    return s;
+}
+
+bool
+MetricsRegistry::validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace uhtm::obs

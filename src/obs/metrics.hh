@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hierarchical metrics registry.
+ *
+ * Components register typed metrics under dot-separated path names
+ * ("core0.htm.aborts.sig_false_positive", "dram_cache.write_backs",
+ * "log.redo.appends"), replacing ad-hoc StatSet plumbing for anything
+ * that is not part of the frozen uhtm-bench-v1 figure schema. A
+ * registry snapshot is a plain sorted value map that can be merged
+ * deterministically across sweep jobs (SweepScheduler collects results
+ * in submission order, so the aggregate is byte-identical for --jobs=1
+ * and --jobs=N) and serialized to the METRICS_<figure>.json sidecar —
+ * alongside, never inside, the golden-compared BENCH_<figure>.json.
+ *
+ * Everything here is derived from deterministic simulated state, so
+ * the serialized snapshot is itself deterministic.
+ */
+
+#ifndef UHTM_OBS_METRICS_HH
+#define UHTM_OBS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace uhtm::obs
+{
+
+/**
+ * Value-type snapshot of one Distribution: the streaming moments plus
+ * the power-of-two histogram, mergeable like the live Distribution.
+ */
+struct DistSnapshot
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+    std::array<std::uint64_t, Distribution::kLog2Buckets> log2Hist{};
+
+    DistSnapshot() = default;
+    explicit DistSnapshot(const Distribution &d);
+
+    void merge(const DistSnapshot &o);
+};
+
+/** Flattened registry state: sorted path → value maps. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, DistSnapshot> distributions;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() &&
+               distributions.empty();
+    }
+
+    /**
+     * Merge another snapshot into this one: counters and gauges add,
+     * distributions merge their moments/histograms. Addition is the
+     * right aggregation for every metric the simulator registers
+     * (counts, ticks, bytes); ratios are derived at read time.
+     */
+    void merge(const MetricsSnapshot &o);
+};
+
+/**
+ * The registry components write into. Paths are created on first use;
+ * a path must keep one type for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Monotonic counter at @p path (created at 0). */
+    std::uint64_t &counter(const std::string &path);
+
+    /** Point-in-time scalar at @p path (created at 0.0). */
+    double &gauge(const std::string &path);
+
+    /** Streaming distribution at @p path. */
+    Distribution &distribution(const std::string &path);
+
+    /** Convenience: copy an existing component Distribution in. */
+    void
+    setDistribution(const std::string &path, const Distribution &d)
+    {
+        distribution(path) = d;
+    }
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * True if @p path is well-formed: non-empty dot-separated segments
+     * of [a-z0-9_]. Registration asserts this in debug builds.
+     */
+    static bool validPath(const std::string &path);
+
+  private:
+    std::map<std::string, std::uint64_t> _counters;
+    std::map<std::string, double> _gauges;
+    std::map<std::string, Distribution> _dists;
+};
+
+} // namespace uhtm::obs
+
+#endif // UHTM_OBS_METRICS_HH

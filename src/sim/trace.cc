@@ -1,8 +1,10 @@
 #include "sim/trace.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace uhtm::trace
 {
@@ -13,6 +15,30 @@ namespace
 // several SweepScheduler workers at once. Relaxed is enough — the mask
 // only gates diagnostic output, no simulator behaviour depends on it.
 std::atomic<unsigned> g_mask{0};
+
+// Output stream, stderr unless UHTM_TRACE_FILE redirected it. The
+// mutex serialises line assembly/redirect; tracing is a diagnostic
+// path, never a measured one.
+std::mutex g_outMutex;
+std::FILE *g_out = nullptr; // nullptr = stderr
+std::FILE *g_ownedFile = nullptr;
+
+// initFromEnv is called from every HtmSystem constructor; only the
+// first call reads the environment (and warns at most once).
+std::once_flag g_envOnce;
+
+struct CategoryName
+{
+    const char *name;
+    unsigned mask;
+};
+
+constexpr CategoryName kCategoryNames[] = {
+    {"all", kAll},           {"cache", kCache}, {"coherence", kCoherence},
+    {"tx", kTx},             {"log", kLog},     {"conflict", kConflict},
+    {"workload", kWorkload}, {"mem", kMem},
+};
+
 } // namespace
 
 unsigned
@@ -33,44 +59,101 @@ disableAll()
     g_mask.store(0, std::memory_order_relaxed);
 }
 
+bool
+parseSpec(const std::string &spec, unsigned &mask)
+{
+    unsigned out = 0;
+    std::size_t pos = 0;
+    if (spec.empty())
+        return false;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        const std::string tok = spec.substr(pos, end - pos);
+        bool known = false;
+        for (const auto &c : kCategoryNames) {
+            if (tok == c.name) {
+                out |= c.mask;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return false; // empty token or unknown name: reject all
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    mask = out;
+    return true;
+}
+
+bool
+setOutputPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_outMutex);
+    std::FILE *f = nullptr;
+    if (!path.empty()) {
+        f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+    }
+    if (g_ownedFile)
+        std::fclose(g_ownedFile);
+    g_ownedFile = f;
+    g_out = f;
+    return true;
+}
+
 void
 initFromEnv()
 {
-    const char *env = std::getenv("UHTM_TRACE");
-    if (!env)
-        return;
-    std::string spec(env);
-    auto has = [&spec](const char *name) {
-        return spec.find(name) != std::string::npos;
-    };
-    if (has("all"))
-        enable(kAll);
-    if (has("cache"))
-        enable(kCache);
-    if (has("coherence"))
-        enable(kCoherence);
-    if (has("tx"))
-        enable(kTx);
-    if (has("log"))
-        enable(kLog);
-    if (has("conflict"))
-        enable(kConflict);
-    if (has("workload"))
-        enable(kWorkload);
-    if (has("mem"))
-        enable(kMem);
+    std::call_once(g_envOnce, [] {
+        if (const char *file = std::getenv("UHTM_TRACE_FILE")) {
+            if (file[0] && !setOutputPath(file)) {
+                std::fprintf(stderr,
+                             "uhtm: cannot open UHTM_TRACE_FILE '%s'; "
+                             "tracing to stderr\n",
+                             file);
+            }
+        }
+        const char *env = std::getenv("UHTM_TRACE");
+        if (!env)
+            return;
+        unsigned mask = 0;
+        if (parseSpec(env, mask)) {
+            enable(mask);
+        } else {
+            std::fprintf(stderr,
+                         "uhtm: malformed UHTM_TRACE spec '%s' "
+                         "(expected comma-separated category names or "
+                         "\"all\"); tracing disabled\n",
+                         env);
+        }
+    });
 }
 
 void
 printLine(Tick now, const char *cat, const char *fmt, ...)
 {
-    std::fprintf(stderr, "%12lu %-12s ", static_cast<unsigned long>(now),
-                 cat);
+    // Assemble the whole line first so each trace line reaches the
+    // stream as one write even with several sweep workers tracing.
+    char buf[512];
+    int n = std::snprintf(buf, sizeof(buf), "%12lu %-12s ",
+                          static_cast<unsigned long>(now), cat);
+    if (n < 0)
+        return;
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    const int m = std::vsnprintf(buf + n, sizeof(buf) - n - 1, fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
+    if (m > 0)
+        n += std::min(m, static_cast<int>(sizeof(buf) - n - 1));
+    buf[n++] = '\n';
+    std::lock_guard<std::mutex> lock(g_outMutex);
+    std::FILE *out = g_out ? g_out : stderr;
+    std::fwrite(buf, 1, static_cast<std::size_t>(n), out);
 }
 
 } // namespace uhtm::trace

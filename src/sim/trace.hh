@@ -4,9 +4,12 @@
  *
  * Tracing is off by default and enabled per category at runtime (e.g.
  * from a test or via the UHTM_TRACE environment variable, a comma
- * separated category list, with "all" enabling everything). Trace output
- * goes to stderr and is purely diagnostic; no simulator behaviour may
- * depend on it.
+ * separated category list, with "all" enabling everything; unknown
+ * names reject the whole spec with a warning rather than silently
+ * enabling something else). Trace output goes to stderr, or to the
+ * file named by UHTM_TRACE_FILE; it is purely diagnostic and no
+ * simulator behaviour may depend on it. For the structured binary
+ * event traces see obs/tracer.hh — this is the human-readable side.
  */
 
 #ifndef UHTM_SIM_TRACE_HH
@@ -43,8 +46,30 @@ void enable(unsigned mask);
 /** Disable all tracing. */
 void disableAll();
 
-/** Initialise the mask from the UHTM_TRACE environment variable. */
+/**
+ * Parse a UHTM_TRACE-style spec: a non-empty comma-separated list of
+ * category names ("cache", "coherence", "tx", "log", "conflict",
+ * "workload", "mem") or "all". Strict: empty tokens or unknown names
+ * reject the whole spec.
+ * @param[out] mask the union of the named categories (valid specs only).
+ * @retval true the spec parsed cleanly.
+ */
+bool parseSpec(const std::string &spec, unsigned &mask);
+
+/**
+ * Initialise from the environment (idempotent; first call wins):
+ * UHTM_TRACE selects categories via parseSpec (a malformed spec warns
+ * on stderr and enables nothing), UHTM_TRACE_FILE redirects trace
+ * output from stderr to the named file (append-truncating).
+ */
 void initFromEnv();
+
+/**
+ * Redirect trace output to @p path ("" restores stderr). Used by
+ * initFromEnv for UHTM_TRACE_FILE and directly by tests.
+ * @retval false the file could not be opened (output unchanged).
+ */
+bool setOutputPath(const std::string &path);
 
 /** True if @p cat tracing is on. */
 inline bool

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
 #include <map>
 #include <memory>
 
@@ -201,6 +203,99 @@ INSTANTIATE_TEST_SUITE_P(
         name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
         return name + (info.param.mem == MemKind::Nvm ? "Nvm" : "Dram");
     });
+
+// ---- Distribution (sim/stats.hh): streaming variance + histogram ----
+
+TEST(Distribution, WelfordMatchesTwoPassVariance)
+{
+    const double xs[] = {4.0, 7.0, 13.0, 16.0, 25.0, 1.0};
+    Distribution d;
+    double sum = 0.0;
+    for (double x : xs) {
+        d.sample(x);
+        sum += x;
+    }
+    const double mean = sum / std::size(xs);
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - mean) * (x - mean);
+    EXPECT_NEAR(d.mean(), mean, 1e-12);
+    EXPECT_NEAR(d.variance(), m2 / std::size(xs), 1e-9);
+    EXPECT_NEAR(d.stddev(), std::sqrt(m2 / std::size(xs)), 1e-9);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 25.0);
+}
+
+TEST(Distribution, Log2HistogramBucketsAreExactAtEdges)
+{
+    EXPECT_EQ(Distribution::log2Bucket(0.0), 0u);
+    EXPECT_EQ(Distribution::log2Bucket(0.5), 0u);
+    EXPECT_EQ(Distribution::log2Bucket(-3.0), 0u);
+    EXPECT_EQ(Distribution::log2Bucket(1.0), 1u); // [1,2)
+    EXPECT_EQ(Distribution::log2Bucket(1.99), 1u);
+    EXPECT_EQ(Distribution::log2Bucket(2.0), 2u); // [2,4)
+    EXPECT_EQ(Distribution::log2Bucket(3.0), 2u);
+    EXPECT_EQ(Distribution::log2Bucket(4.0), 3u); // [4,8)
+    EXPECT_EQ(Distribution::log2Bucket(1024.0), 11u);
+    EXPECT_EQ(Distribution::log2Bucket(1e30),
+              Distribution::kLog2Buckets - 1);
+
+    Distribution d;
+    d.sample(0.5);
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(3.5);
+    const auto &h = d.histogram();
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 1u);
+    EXPECT_EQ(h[2], 2u);
+}
+
+TEST(Distribution, MergeEqualsSamplingTheUnion)
+{
+    Distribution a, b, whole;
+    for (int i = 1; i <= 10; ++i) {
+        (i <= 4 ? a : b).sample(i * 3.0);
+        whole.sample(i * 3.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+    EXPECT_EQ(a.histogram(), whole.histogram());
+}
+
+TEST(Distribution, MergeWithEmptySidesKeepsMinMaxSane)
+{
+    // Empty.merge(empty): still reports the 0.0 empty-default min/max.
+    Distribution e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.count(), 0u);
+    EXPECT_DOUBLE_EQ(e1.min(), 0.0);
+    EXPECT_DOUBLE_EQ(e1.max(), 0.0);
+    EXPECT_DOUBLE_EQ(e1.variance(), 0.0);
+
+    // Non-empty.merge(empty): unchanged — the empty side's +/-inf
+    // sentinels must not leak into min/max.
+    Distribution d;
+    d.sample(5.0);
+    d.sample(9.0);
+    Distribution empty;
+    d.merge(empty);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+
+    // Empty.merge(non-empty): adopts the other side wholesale.
+    Distribution adopt;
+    adopt.merge(d);
+    EXPECT_EQ(adopt.count(), 2u);
+    EXPECT_DOUBLE_EQ(adopt.min(), 5.0);
+    EXPECT_DOUBLE_EQ(adopt.max(), 9.0);
+    EXPECT_NEAR(adopt.variance(), d.variance(), 1e-12);
+}
 
 } // namespace
 } // namespace uhtm

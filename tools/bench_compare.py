@@ -10,6 +10,13 @@ job whose metric drops by more than the threshold (default 10%) fails
 the comparison, as does a job that disappeared or stopped succeeding.
 New jobs in the candidate are reported but do not fail.
 
+When both directories also carry METRICS_<figure>.json observability
+sidecars (uhtm-metrics-v1, written by --metrics), their aggregate
+blocks are diffed too: counters must match exactly, gauges within
+relative 1e-9, distribution counts exactly. A sidecar present on only
+one side is reported but never fails (baselines predating the metrics
+layer stay comparable); --ignore-metrics skips the sidecars entirely.
+
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
 Only the standard library is used.
 """
@@ -71,6 +78,80 @@ def compare_docs(base, cand, *, threshold, metric, label, out):
     return regressions
 
 
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "uhtm-metrics-v1":
+        raise ValueError(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def compare_metrics_docs(base, cand, *, label, out):
+    """Diff the aggregate blocks of two metrics sidecars; return #diffs."""
+    bagg = base.get("aggregate", {})
+    cagg = cand.get("aggregate", {})
+    diffs = 0
+
+    bc = bagg.get("counters", {})
+    cc = cagg.get("counters", {})
+    for name in sorted(set(bc) | set(cc)):
+        bval, cval = bc.get(name), cc.get(name)
+        if bval != cval:
+            print(f"FAIL {label}/metrics counter {name}: "
+                  f"{bval} -> {cval}", file=out)
+            diffs += 1
+
+    bg = bagg.get("gauges", {})
+    cg = cagg.get("gauges", {})
+    for name in sorted(set(bg) | set(cg)):
+        bval, cval = bg.get(name), cg.get(name)
+        if bval is None or cval is None:
+            print(f"FAIL {label}/metrics gauge {name}: "
+                  f"{bval} -> {cval}", file=out)
+            diffs += 1
+            continue
+        scale = max(abs(bval), abs(cval), 1e-300)
+        if abs(bval - cval) / scale > 1e-9:
+            print(f"FAIL {label}/metrics gauge {name}: "
+                  f"{bval!r} -> {cval!r}", file=out)
+            diffs += 1
+
+    bd = bagg.get("distributions", {})
+    cd = cagg.get("distributions", {})
+    for name in sorted(set(bd) | set(cd)):
+        bval = bd.get(name, {}).get("count")
+        cval = cd.get(name, {}).get("count")
+        if bval != cval:
+            print(f"FAIL {label}/metrics distribution {name}: "
+                  f"count {bval} -> {cval}", file=out)
+            diffs += 1
+
+    if not diffs:
+        print(f"ok   {label}/metrics: aggregates match", file=out)
+    return diffs
+
+
+def pair_metrics_paths(base, cand):
+    """Yield (label, base_file, cand_file) for METRICS sidecar pairs.
+
+    Only directory comparisons carry sidecars; a file present on one
+    side only is reported (label, path-or-None) and skipped.
+    """
+    if not (os.path.isdir(base) and os.path.isdir(cand)):
+        return
+    names = sorted(
+        set(n for n in os.listdir(base)
+            if n.startswith("METRICS_") and n.endswith(".json")) |
+        set(n for n in os.listdir(cand)
+            if n.startswith("METRICS_") and n.endswith(".json")))
+    for name in names:
+        bpath = os.path.join(base, name)
+        cpath = os.path.join(cand, name)
+        yield (name,
+               bpath if os.path.isfile(bpath) else None,
+               cpath if os.path.isfile(cpath) else None)
+
+
 def pair_paths(base, cand):
     """Yield (label, base_file, cand_file) pairs for files or dirs."""
     if os.path.isfile(base) and os.path.isfile(cand):
@@ -98,6 +179,8 @@ def main(argv):
                     help="max tolerated drop in percent (default 10)")
     ap.add_argument("--metric", default="ops_per_sec",
                     help="metrics field to compare (default ops_per_sec)")
+    ap.add_argument("--ignore-metrics", action="store_true",
+                    help="skip METRICS_*.json sidecar comparison")
     args = ap.parse_args(argv)
 
     regressions = 0
@@ -107,6 +190,16 @@ def main(argv):
                                         threshold=args.threshold,
                                         metric=args.metric,
                                         label=label, out=sys.stdout)
+        if not args.ignore_metrics:
+            for label, bpath, cpath in pair_metrics_paths(args.baseline,
+                                                          args.candidate):
+                if bpath is None or cpath is None:
+                    side = "baseline" if bpath is None else "candidate"
+                    print(f"note {label}: missing in {side}, skipped")
+                    continue
+                regressions += compare_metrics_docs(
+                    load_metrics(bpath), load_metrics(cpath),
+                    label=label, out=sys.stdout)
     except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2

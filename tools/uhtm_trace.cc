@@ -1,0 +1,403 @@
+/**
+ * @file
+ * uhtm_trace: offline analyzer for the binary lifecycle-event traces
+ * recorded by obs::Tracer (see src/obs/event.hh for the format).
+ *
+ * Usage:
+ *   uhtm_trace <trace.uhtmtrace | dir>... [--chrome out.json]
+ *
+ * Prints, across all input files:
+ *   - an event-kind inventory;
+ *   - the abort-cause breakdown (counts, share, protocol time) with
+ *     per-cause totals that sum exactly to the trace's abort count;
+ *   - per-stage latency histograms (commit and abort protocol) as
+ *     power-of-two buckets.
+ *
+ * With --chrome, additionally emits Chrome trace_event JSON (open in
+ * chrome://tracing or https://ui.perfetto.dev): one "X" complete event
+ * per transaction from begin to commit/abort, instants for overflows,
+ * signature hits, DRAM-cache evictions and NVM write-backs. pid =
+ * input file (one simulated machine each), tid = core.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/json.hh"
+#include "obs/abort_profile.hh"
+#include "obs/event.hh"
+#include "sim/stats.hh"
+
+using namespace uhtm;
+using obs::Event;
+using obs::EventKind;
+
+namespace
+{
+
+struct TraceFile
+{
+    std::string path;
+    obs::TraceFileHeader header{};
+    std::vector<Event> events;
+};
+
+bool
+readTraceFile(const std::string &path, TraceFile &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        std::fprintf(stderr, "uhtm_trace: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    out.path = path;
+    bool ok = std::fread(&out.header, sizeof(out.header), 1, f) == 1;
+    if (ok && (std::memcmp(out.header.magic, obs::kTraceMagic, 8) != 0 ||
+               out.header.version != obs::kTraceVersion ||
+               out.header.eventBytes != sizeof(Event))) {
+        std::fprintf(stderr,
+                     "uhtm_trace: %s is not a v%u uhtm trace file\n",
+                     path.c_str(), obs::kTraceVersion);
+        ok = false;
+    }
+    while (ok) {
+        Event e;
+        const std::size_t n = std::fread(&e, sizeof(e), 1, f);
+        if (n != 1)
+            break;
+        if (static_cast<unsigned>(e.kind) >= obs::kEventKindCount) {
+            std::fprintf(stderr,
+                         "uhtm_trace: %s: bad event kind %u, "
+                         "truncating\n",
+                         path.c_str(), static_cast<unsigned>(e.kind));
+            break;
+        }
+        out.events.push_back(e);
+    }
+    std::fclose(f);
+    return ok;
+}
+
+/** Expand directory arguments into their .uhtmtrace members, sorted. */
+std::vector<std::string>
+expandInputs(const std::vector<std::string> &args)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    for (const auto &a : args) {
+        std::error_code ec;
+        if (fs::is_directory(a, ec)) {
+            for (const auto &ent : fs::directory_iterator(a, ec))
+                if (ent.path().extension() == ".uhtmtrace")
+                    paths.push_back(ent.path().string());
+        } else {
+            paths.push_back(a);
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+double
+usFromTicks(Tick t)
+{
+    // Tick is a picosecond; trace_event timestamps are microseconds.
+    return static_cast<double>(t) / 1e6;
+}
+
+void
+printHistogram(const char *title, const Distribution &d)
+{
+    std::printf("\n%s (count=%" PRIu64 ", mean=%.1f ns, stddev=%.1f ns, "
+                "max=%.1f ns)\n",
+                title, d.count(), d.mean(), d.stddev(), d.max());
+    const auto &h = d.histogram();
+    std::uint64_t peak = 0;
+    for (auto b : h)
+        peak = std::max(peak, b);
+    if (!peak)
+        return;
+    for (unsigned i = 0; i < Distribution::kLog2Buckets; ++i) {
+        if (!h[i])
+            continue;
+        const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+        const int bar =
+            static_cast<int>(50.0 * static_cast<double>(h[i]) /
+                             static_cast<double>(peak));
+        std::printf("  >=%10.0f ns %10" PRIu64 " %.*s\n", lo, h[i],
+                    bar > 0 ? bar : (h[i] ? 1 : 0),
+                    "##################################################");
+    }
+}
+
+struct OpenTx
+{
+    Tick begin = 0;
+    std::uint16_t core = 0;
+    std::uint32_t domain = 0;
+    bool serialized = false;
+};
+
+int
+writeChromeTrace(const std::vector<TraceFile> &files,
+                 const std::string &out_path)
+{
+    exec::JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+
+    auto emitEvent = [&w](std::uint64_t pid, std::uint64_t tid,
+                          const char *ph, const char *name, double ts,
+                          double dur, const char *cat,
+                          const std::map<std::string, std::string> &args) {
+        w.beginObject();
+        w.field("pid", pid);
+        w.field("tid", tid);
+        w.field("ph", ph);
+        w.field("name", name);
+        w.field("ts", ts);
+        if (std::strcmp(ph, "X") == 0)
+            w.field("dur", dur);
+        if (std::strcmp(ph, "i") == 0)
+            w.field("s", "t"); // thread-scoped instant
+        w.field("cat", cat);
+        if (!args.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[k, v] : args)
+                w.field(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    };
+
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const std::uint64_t pid = fi;
+        std::unordered_map<TxId, OpenTx> open;
+        // Name the process after the trace file for the viewer.
+        w.beginObject();
+        w.field("pid", pid);
+        w.field("ph", "M");
+        w.field("name", "process_name");
+        w.key("args");
+        w.beginObject();
+        w.field("name",
+                std::filesystem::path(files[fi].path).filename().string());
+        w.endObject();
+        w.endObject();
+
+        for (const Event &e : files[fi].events) {
+            const double ts = usFromTicks(e.tick);
+            const std::uint64_t tid =
+                e.core == obs::kEvNoCore ? 999 : e.core;
+            char hexline[32];
+            std::snprintf(hexline, sizeof(hexline), "0x%" PRIx64, e.arg);
+            switch (e.kind) {
+              case EventKind::TxBegin:
+                open[e.tx] = OpenTx{e.tick, e.core,
+                                    static_cast<std::uint32_t>(e.arg),
+                                    (e.flags & obs::kEvFlag0) != 0};
+                break;
+              case EventKind::TxCommitDone:
+              case EventKind::TxAbort: {
+                const bool aborted = e.kind == EventKind::TxAbort;
+                auto it = open.find(e.tx);
+                const Tick begin =
+                    it != open.end() ? it->second.begin : e.tick;
+                // The protocol duration rides in arg; the span covers
+                // begin -> protocol end.
+                const Tick end = e.tick + e.arg;
+                std::map<std::string, std::string> args;
+                args["tx"] = std::to_string(e.tx);
+                if (aborted) {
+                    args["cause"] = obs::abortClassName(
+                        static_cast<AbortCause>(e.extra));
+                }
+                emitEvent(pid, tid, "X", aborted ? "tx-abort" : "tx",
+                          usFromTicks(begin),
+                          usFromTicks(end - begin) > 0
+                              ? usFromTicks(end - begin)
+                              : 0.001,
+                          aborted ? "abort" : "commit", args);
+                open.erase(e.tx);
+                break;
+              }
+              case EventKind::TxOverflow:
+                emitEvent(pid, tid, "i", "overflow", ts, 0, "overflow",
+                          {{"tx", std::to_string(e.tx)}});
+                break;
+              case EventKind::TxSuspend:
+                emitEvent(pid, tid, "i", "suspend", ts, 0, "ctxsw",
+                          {{"tx", std::to_string(e.tx)}});
+                break;
+              case EventKind::TxResume:
+                emitEvent(pid, tid, "i", "resume", ts, 0, "ctxsw",
+                          {{"tx", std::to_string(e.tx)}});
+                break;
+              case EventKind::SigCheckHit:
+                emitEvent(pid, tid, "i",
+                          (e.flags & obs::kEvFlag0) ? "sig-false-hit"
+                                                    : "sig-hit",
+                          ts, 0, "signature", {{"line", hexline}});
+                break;
+              case EventKind::DramCacheEvict:
+                emitEvent(pid, tid, "i", "dcache-evict", ts, 0,
+                          "dram-cache", {{"line", hexline}});
+                break;
+              case EventKind::NvmWriteBack:
+                emitEvent(pid, tid, "i", "nvm-writeback", ts, 0, "nvm",
+                          {{"line", hexline}});
+                break;
+              default:
+                break; // fills/log appends stay out of the timeline
+            }
+        }
+    }
+    w.endArray();
+    w.endObject();
+
+    std::FILE *f = std::fopen(out_path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "uhtm_trace: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    const std::string body = w.str() + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string chrome_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--chrome") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--chrome needs an output path\n");
+                return 2;
+            }
+            chrome_out = argv[++i];
+        } else if (arg.rfind("--chrome=", 0) == 0) {
+            chrome_out = arg.substr(9);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: uhtm_trace <trace.uhtmtrace | dir>... "
+                        "[--chrome out.json]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "usage: uhtm_trace <trace.uhtmtrace | dir>... "
+                     "[--chrome out.json]\n");
+        return 2;
+    }
+
+    std::vector<TraceFile> files;
+    for (const auto &p : expandInputs(inputs)) {
+        TraceFile tf;
+        if (!readTraceFile(p, tf))
+            return 1;
+        files.push_back(std::move(tf));
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "uhtm_trace: no trace files found\n");
+        return 1;
+    }
+
+    // ---- inventory ----
+    std::array<std::uint64_t, obs::kEventKindCount> kinds{};
+    std::uint64_t total = 0;
+    for (const auto &f : files) {
+        for (const Event &e : f.events) {
+            ++kinds[static_cast<unsigned>(e.kind)];
+            ++total;
+        }
+    }
+    std::printf("%zu trace file(s), %" PRIu64 " events\n", files.size(),
+                total);
+    for (unsigned k = 1; k < obs::kEventKindCount; ++k) {
+        if (kinds[k]) {
+            std::printf("  %-14s %10" PRIu64 "\n",
+                        obs::eventKindName(static_cast<EventKind>(k)),
+                        kinds[k]);
+        }
+    }
+
+    // ---- abort attribution ----
+    struct CauseRow
+    {
+        std::uint64_t count = 0;
+        Tick protocolTicks = 0;
+    };
+    std::array<CauseRow, kAbortCauseCount> causes{};
+    Distribution commit_ns, abort_ns;
+    std::uint64_t commits = 0, aborts = 0;
+    for (const auto &f : files) {
+        for (const Event &e : f.events) {
+            if (e.kind == EventKind::TxCommitDone) {
+                ++commits;
+                commit_ns.sample(nsFromTicks(e.arg));
+            } else if (e.kind == EventKind::TxAbort) {
+                ++aborts;
+                abort_ns.sample(nsFromTicks(e.arg));
+                CauseRow &row = causes[e.extra % kAbortCauseCount];
+                ++row.count;
+                row.protocolTicks += e.arg;
+            }
+        }
+    }
+
+    std::printf("\ncommits %" PRIu64 ", aborts %" PRIu64
+                " (abort rate %.2f%%)\n",
+                commits, aborts,
+                commits + aborts
+                    ? 100.0 * static_cast<double>(aborts) /
+                          static_cast<double>(commits + aborts)
+                    : 0.0);
+    if (aborts) {
+        std::printf("%-26s %10s %8s %14s\n", "abort cause", "count",
+                    "share", "protocol ns");
+        std::uint64_t check = 0;
+        for (unsigned c = 0; c < kAbortCauseCount; ++c) {
+            if (!causes[c].count)
+                continue;
+            check += causes[c].count;
+            std::printf("%-26s %10" PRIu64 " %7.2f%% %14.0f\n",
+                        obs::abortClassName(static_cast<AbortCause>(c)),
+                        causes[c].count,
+                        100.0 * static_cast<double>(causes[c].count) /
+                            static_cast<double>(aborts),
+                        nsFromTicks(causes[c].protocolTicks));
+        }
+        std::printf("%-26s %10" PRIu64 "\n", "total", check);
+    }
+
+    printHistogram("commit protocol latency", commit_ns);
+    printHistogram("abort protocol latency", abort_ns);
+
+    if (!chrome_out.empty())
+        return writeChromeTrace(files, chrome_out);
+    return 0;
+}
