@@ -41,6 +41,8 @@ sweepConfig(const BenchCliOpts &opts)
             std::to_string(opts.fig.scanMbOverride);
     if (!opts.filter.empty())
         cfg["filter"] = opts.filter;
+    if (!opts.fig.policySpec.empty())
+        cfg["policy"] = opts.fig.policy.spec();
     return cfg;
 }
 
@@ -58,6 +60,10 @@ benchFlagsHelp()
            "  --tiny        miniature smoke/sanitizer configs\n"
            "  --tx=N        transactions per worker (--ops= alias)\n"
            "  --scanmb=N    fig8 long-scan size in MiB\n"
+           "  --policy=SPEC conflict policy: fixed | bounded-retry | "
+           "karma | hytm,\n"
+           "                with optional :retries=N,base=NS,max=NS "
+           "knobs\n"
            "  --metrics     also write METRICS_<figure>.json (needs "
            "--out)\n"
            "  --trace=DIR   record binary event traces into DIR "
@@ -88,6 +94,15 @@ parseBenchArgs(int argc, char **argv, int firstArg, BenchCliOpts &opts,
             opts.outDir = arg.substr(6);
         } else if (arg.rfind("--filter=", 0) == 0) {
             opts.filter = arg.substr(9);
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            const std::string spec = arg.substr(9);
+            std::string perr;
+            if (!PolicyDescriptor::parse(spec, &opts.fig.policy,
+                                         &perr)) {
+                err = "--policy: " + perr;
+                return false;
+            }
+            opts.fig.policySpec = spec;
         } else if (arg == "--metrics") {
             opts.metrics = true;
         } else if (arg.rfind("--trace=", 0) == 0) {

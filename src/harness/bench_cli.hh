@@ -15,6 +15,8 @@
  *   --tiny        miniature smoke/sanitizer configs
  *   --tx=N        transactions per worker (--ops= is an alias)
  *   --scanmb=N    fig8 long-scan size in MiB
+ *   --policy=SPEC conflict policy (fixed | bounded-retry | karma |
+ *                 hytm, with :retries=N,base=NS,max=NS knobs)
  *   --metrics     also write METRICS_<figure>.json next to the bench
  *                 JSON (hierarchical observability metrics sidecar)
  *   --trace=DIR   record binary lifecycle-event traces into DIR

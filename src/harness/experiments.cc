@@ -123,6 +123,53 @@ runDual(const MachineConfig &machine, const HtmPolicy &policy,
     return runner.run();
 }
 
+RunMetrics
+runContention(const MachineConfig &machine, const HtmPolicy &policy,
+              const ContentionParams &params)
+{
+    Runner runner(machine, policy, params.seed);
+    RunControl &rc = runner.control();
+    const DomainId dom = runner.addDomain("contend");
+    HtmSystem &sys = runner.system();
+
+    const unsigned hot_lines = params.hotLines ? params.hotLines : 1;
+    const Addr hot_base = runner.regions().reserve(
+        MemKind::Nvm, std::uint64_t(hot_lines) * kLineBytes);
+    for (unsigned i = 0; i < hot_lines; ++i)
+        sys.setupWriteLine(hot_base + i * kLineBytes, 0x1000 + i);
+
+    for (unsigned w = 0; w < params.workers; ++w) {
+        const Addr priv = runner.regions().reserve(
+            MemKind::Nvm,
+            std::uint64_t(params.privateWritesPerTx + 1) * kLineBytes);
+        runner.addWorker(dom, [&params, &rc, hot_base, hot_lines, priv,
+                               w](TxContext &ctx) -> CoTask<void> {
+            Rng r(params.seed * 31 + w);
+            for (unsigned i = 0; i < params.txPerWorker; ++i) {
+                // Pick the hot target before run() so every retry of
+                // the same logical operation replays the same access
+                // pattern (a retried attempt is the same transaction).
+                const unsigned hl = r.below(hot_lines);
+                co_await ctx.run([&](TxContext &t) -> CoTask<void> {
+                    for (unsigned k = 0; k < params.readsPerTx; ++k) {
+                        co_await t.read64(hot_base +
+                                          ((hl + k) % hot_lines) *
+                                              kLineBytes);
+                    }
+                    const Addr line = hot_base + hl * kLineBytes;
+                    const std::uint64_t v = co_await t.read64(line);
+                    co_await t.write64(line, v + 1);
+                    for (unsigned k = 0; k < params.privateWritesPerTx;
+                         ++k)
+                        co_await t.write64(priv + k * kLineBytes, i + 1);
+                });
+                rc.addOps(ctx.domain(), 1);
+            }
+        });
+    }
+    return runner.run();
+}
+
 std::vector<SystemVariant>
 paperSystems(const std::vector<unsigned> &sig_bits, bool include_sig_only)
 {

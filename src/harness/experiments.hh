@@ -61,6 +61,31 @@ RunMetrics runDual(const MachineConfig &machine, const HtmPolicy &policy,
 std::vector<SystemVariant>
 paperSystems(const std::vector<unsigned> &sig_bits, bool include_sig_only);
 
+/**
+ * Adversarial high-contention mix for the conflict-policy figure and
+ * stress tests: every worker read-modify-writes a tiny pool of shared
+ * NVM lines (hotLines = 1 is the lemming scenario where all threads
+ * hammer one line) plus a few private NVM lines so commits engage the
+ * redo-log drain path.
+ */
+struct ContentionParams
+{
+    unsigned workers = 4;
+    unsigned txPerWorker = 25;
+    /** Shared NVM lines all transactions fight over. */
+    unsigned hotLines = 1;
+    /** Hot-pool reads per transaction (widens the read set). */
+    unsigned readsPerTx = 2;
+    /** Private NVM line writes per transaction (redo-log traffic). */
+    unsigned privateWritesPerTx = 4;
+    std::uint64_t seed = 1;
+};
+
+/** Run the contention mix under @p policy (incl. policy.conflict). */
+RunMetrics runContention(const MachineConfig &machine,
+                         const HtmPolicy &policy,
+                         const ContentionParams &params);
+
 } // namespace uhtm::experiments
 
 #endif // UHTM_HARNESS_EXPERIMENTS_HH

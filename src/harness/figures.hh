@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "exec/job.hh"
+#include "htm/config.hh"
 
 namespace uhtm::figures
 {
@@ -45,6 +46,12 @@ struct FigureOpts
     std::uint64_t scanMbOverride = 0;
     /** Sweep seed; each job derives its own from (seed, key). */
     std::uint64_t seed = 42;
+    /** Conflict policy applied to every job's HtmPolicy (--policy=).
+     *  The "policies" figure sweeps its own and ignores the override. */
+    PolicyDescriptor policy;
+    /** Raw --policy= spec ("" = default fixed policy; echoed into the
+     *  sweep config only when set so default bytes stay frozen). */
+    std::string policySpec;
 };
 
 /** One reproduced figure/table. */

@@ -104,6 +104,7 @@ Runner::run()
         agg.commits += cs.commits;
         agg.serializedCommits += cs.serializedCommits;
         agg.aborts += cs.aborts;
+        agg.maxAttempts = std::max(agg.maxAttempts, cs.maxAttempts);
     }
     if (m.simSeconds > 0) {
         m.txPerSec = static_cast<double>(m.committedTxs) / m.simSeconds;

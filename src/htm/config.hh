@@ -7,6 +7,7 @@
 #ifndef UHTM_HTM_CONFIG_HH
 #define UHTM_HTM_CONFIG_HH
 
+#include <cstdlib>
 #include <string>
 
 #include "sim/types.hh"
@@ -62,11 +63,15 @@ enum class AbortCause
     LockPreempt,
     /** Explicit abort requested by the workload. */
     Explicit,
+    /** Preempted by an adaptive policy's HyTM fallback-lock writer.
+     *  Distinct from LockPreempt so adaptive-policy figures attribute
+     *  fallback pressure separately from capacity serialization. */
+    Fallback,
 };
 
 /** Number of AbortCause values (sizes per-cause count arrays). */
 inline constexpr unsigned kAbortCauseCount =
-    static_cast<unsigned>(AbortCause::Explicit) + 1;
+    static_cast<unsigned>(AbortCause::Fallback) + 1;
 
 /** Printable abort-cause name. */
 inline const char *
@@ -81,9 +86,163 @@ abortCauseName(AbortCause c)
       case AbortCause::Capacity: return "capacity";
       case AbortCause::LockPreempt: return "lock-preempt";
       case AbortCause::Explicit: return "explicit";
+      case AbortCause::Fallback: return "fallback";
     }
     return "?";
 }
+
+/** Which contention-management strategy resolves conflicts. */
+enum class ConflictPolicyKind
+{
+    /** The paper's fixed Table II policy (default; byte-identical to
+     *  the pre-policy-layer behavior). */
+    Fixed,
+    /** Requester-wins with a small retry budget and jittered
+     *  exponential backoff, then the serialized fallback. */
+    BoundedRetry,
+    /** Karma: the transaction with more failed attempts wins, which
+     *  bounds per-transaction abort counts (no starvation). */
+    Karma,
+    /** HyTM: tiny retry budget, then a per-domain fallback lock that
+     *  fast-path transactions subscribe to; drains persist via the
+     *  existing log path. */
+    HytmFallback,
+};
+
+/**
+ * Conflict-policy selection plus its tuning knobs. Parsed from
+ * `kind[:key=value,...]` specs (the bench `--policy=` flag); every knob
+ * is validated so a bad spec fails loudly instead of wrapping.
+ */
+struct PolicyDescriptor
+{
+    ConflictPolicyKind kind = ConflictPolicyKind::Fixed;
+
+    /** Conflict-abort retries before the serialized fallback. Ignored
+     *  by Fixed (which keeps using HtmPolicy::maxRetries). */
+    int retryBudget = 4;
+    /** Backoff base/cap, ns. Ignored by Fixed (HtmPolicy::backoff*). */
+    double backoffBaseNs = 100;
+    double backoffMaxNs = 50000;
+
+    /** Canonical kind name (also the accepted spec spelling). */
+    static const char *
+    kindName(ConflictPolicyKind k)
+    {
+        switch (k) {
+          case ConflictPolicyKind::Fixed: return "fixed";
+          case ConflictPolicyKind::BoundedRetry: return "bounded-retry";
+          case ConflictPolicyKind::Karma: return "karma";
+          case ConflictPolicyKind::HytmFallback: return "hytm";
+        }
+        return "?";
+    }
+
+    const char *name() const { return kindName(kind); }
+
+    /** Spec string round-trip (sweep-config echo). */
+    std::string
+    spec() const
+    {
+        return std::string(name()) +
+               ":retries=" + std::to_string(retryBudget) +
+               ",base=" + std::to_string((long long)backoffBaseNs) +
+               ",max=" + std::to_string((long long)backoffMaxNs);
+    }
+
+    /** Reject out-of-range knobs with a human-readable reason. */
+    bool
+    validate(std::string *err = nullptr) const
+    {
+        auto fail = [&](const std::string &why) {
+            if (err)
+                *err = "policy '" + std::string(name()) + "': " + why;
+            return false;
+        };
+        if (retryBudget < 0)
+            return fail("retry budget must be >= 0, got " +
+                        std::to_string(retryBudget));
+        if (!(backoffBaseNs > 0))
+            return fail("backoff base must be > 0 ns");
+        if (backoffMaxNs < backoffBaseNs)
+            return fail("backoff max must be >= base");
+        return true;
+    }
+
+    /**
+     * Parse `kind[:key=value,...]` (keys: retries, base, max; ns for
+     * the backoff pair). Unknown kinds/keys and invalid values produce
+     * a clear error and leave @p out untouched.
+     */
+    static bool
+    parse(const std::string &spec, PolicyDescriptor *out,
+          std::string *err)
+    {
+        PolicyDescriptor d;
+        const auto colon = spec.find(':');
+        const std::string kind = spec.substr(0, colon);
+        if (kind == "fixed") {
+            d.kind = ConflictPolicyKind::Fixed;
+        } else if (kind == "bounded-retry") {
+            d.kind = ConflictPolicyKind::BoundedRetry;
+            d.retryBudget = 4;
+        } else if (kind == "karma") {
+            d.kind = ConflictPolicyKind::Karma;
+            // Large budget: the starvation bound comes from priority,
+            // not from falling back to the serialized path.
+            d.retryBudget = 64;
+        } else if (kind == "hytm") {
+            d.kind = ConflictPolicyKind::HytmFallback;
+            d.retryBudget = 2;
+        } else {
+            if (err)
+                *err = "unknown policy kind '" + kind +
+                       "' (expected fixed, bounded-retry, karma, hytm)";
+            return false;
+        }
+        std::string rest =
+            colon == std::string::npos ? "" : spec.substr(colon + 1);
+        while (!rest.empty()) {
+            const auto comma = rest.find(',');
+            const std::string kv = rest.substr(0, comma);
+            rest = comma == std::string::npos ? ""
+                                              : rest.substr(comma + 1);
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos || eq + 1 >= kv.size()) {
+                if (err)
+                    *err = "malformed policy knob '" + kv +
+                           "' (expected key=value)";
+                return false;
+            }
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            char *end = nullptr;
+            const double num = std::strtod(val.c_str(), &end);
+            if (end == val.c_str() || *end != '\0') {
+                if (err)
+                    *err = "policy knob '" + key +
+                           "': not a number: '" + val + "'";
+                return false;
+            }
+            if (key == "retries")
+                d.retryBudget = static_cast<int>(num);
+            else if (key == "base")
+                d.backoffBaseNs = num;
+            else if (key == "max")
+                d.backoffMaxNs = num;
+            else {
+                if (err)
+                    *err = "unknown policy knob '" + key +
+                           "' (expected retries, base, max)";
+                return false;
+            }
+        }
+        if (!d.validate(err))
+            return false;
+        *out = d;
+        return true;
+    }
+};
 
 /** Timing and structural parameters of the simulated machine. */
 struct MachineConfig
@@ -157,6 +316,10 @@ struct HtmPolicy
      *  ping-pong under requester-wins until the retry limit (the
      *  livelock the paper defers to future work). */
     Tick backoffMax = ticksFromNs(3200000);
+
+    /** Contention-management policy (Fixed reproduces the knobs above
+     *  exactly; the adaptive kinds use the descriptor's own knobs). */
+    PolicyDescriptor conflict;
 
     /** ---- presets matching the paper's evaluated systems ---- */
 

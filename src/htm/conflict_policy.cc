@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The four conflict-policy implementations (see conflict_policy.hh).
+ */
+
+#include "htm/conflict_policy.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+/**
+ * The paper's fixed policy: Table II resolution plus the Algorithm-1
+ * retry schedule driven by HtmPolicy::maxRetries/backoffBase/backoffMax.
+ * Byte-identical to the pre-policy-layer behaviour (golden-gated).
+ */
+class FixedPolicy : public ConflictPolicy
+{
+  public:
+    using ConflictPolicy::ConflictPolicy;
+
+    bool
+    onChipRequesterAborts(const TxDesc &req,
+                          const TxDesc &victim) const override
+    {
+        // Requester-wins unless exactly the victim overflowed.
+        return victim.overflowed && !req.overflowed;
+    }
+
+    bool
+    offChipVictimAborts(const TxDesc &req,
+                        const TxDesc &victim) const override
+    {
+        // Requester-loses unless exactly the requester overflowed.
+        return req.overflowed && !victim.overflowed;
+    }
+
+    Tick
+    backoffDelay(int attempt, Rng &rng) const override
+    {
+        return jitteredBackoff(attempt, _policy.backoffBase,
+                               _policy.backoffMax, rng);
+    }
+
+    bool
+    shouldSerialize(int next_attempt, AbortCause cause) const override
+    {
+        // Capacity overflows repeat after restart: go straight to the
+        // slow path (Algorithm 1 line 15); conflicts retry to the limit.
+        return cause == AbortCause::Capacity ||
+               next_attempt > _policy.maxRetries;
+    }
+};
+
+/**
+ * Shared shape of the adaptive kinds: descriptor-driven backoff and
+ * retry budget, fallback preemptions attributed to AbortCause::Fallback.
+ */
+class AdaptivePolicy : public ConflictPolicy
+{
+  public:
+    using ConflictPolicy::ConflictPolicy;
+
+    Tick
+    backoffDelay(int attempt, Rng &rng) const override
+    {
+        const PolicyDescriptor &d = descriptor();
+        return jitteredBackoff(attempt, ticksFromNs(d.backoffBaseNs),
+                               ticksFromNs(d.backoffMaxNs), rng);
+    }
+
+    bool
+    shouldSerialize(int next_attempt, AbortCause cause) const override
+    {
+        return cause == AbortCause::Capacity ||
+               next_attempt > descriptor().retryBudget;
+    }
+
+    AbortCause preemptCause() const override
+    {
+        return AbortCause::Fallback;
+    }
+};
+
+/** Bounded retry: Table II resolution, small budget, fast fallback. */
+class BoundedRetryPolicy : public AdaptivePolicy
+{
+  public:
+    using AdaptivePolicy::AdaptivePolicy;
+
+    bool
+    onChipRequesterAborts(const TxDesc &req,
+                          const TxDesc &victim) const override
+    {
+        return victim.overflowed && !req.overflowed;
+    }
+
+    bool
+    offChipVictimAborts(const TxDesc &req,
+                        const TxDesc &victim) const override
+    {
+        return req.overflowed && !victim.overflowed;
+    }
+};
+
+/**
+ * Karma: priority = failed-attempt count (TxDesc::attempt). The side
+ * that has lost more often wins; ties fall back to Table II. A
+ * transaction that keeps losing eventually out-prioritizes everyone,
+ * which bounds per-transaction abort counts without the fallback lock.
+ */
+class KarmaPolicy : public AdaptivePolicy
+{
+  public:
+    using AdaptivePolicy::AdaptivePolicy;
+
+    bool
+    onChipRequesterAborts(const TxDesc &req,
+                          const TxDesc &victim) const override
+    {
+        if (victim.attempt != req.attempt)
+            return victim.attempt > req.attempt;
+        return victim.overflowed && !req.overflowed;
+    }
+
+    bool
+    offChipVictimAborts(const TxDesc &req,
+                        const TxDesc &victim) const override
+    {
+        if (req.attempt != victim.attempt)
+            return req.attempt > victim.attempt;
+        return req.overflowed && !victim.overflowed;
+    }
+};
+
+/**
+ * HyTM fallback: Table II resolution with a tiny retry budget, then the
+ * per-domain fallback lock. Threads that waited out another thread's
+ * serialized drain re-try the fast path with a fresh budget instead of
+ * convoying on the lock (lemming avoidance).
+ */
+class HytmFallbackPolicy : public BoundedRetryPolicy
+{
+  public:
+    using BoundedRetryPolicy::BoundedRetryPolicy;
+
+    bool retryFastAfterDrain() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<ConflictPolicy>
+makeConflictPolicy(const HtmPolicy &policy)
+{
+    switch (policy.conflict.kind) {
+      case ConflictPolicyKind::Fixed:
+        return std::make_unique<FixedPolicy>(policy);
+      case ConflictPolicyKind::BoundedRetry:
+        return std::make_unique<BoundedRetryPolicy>(policy);
+      case ConflictPolicyKind::Karma:
+        return std::make_unique<KarmaPolicy>(policy);
+      case ConflictPolicyKind::HytmFallback:
+        return std::make_unique<HytmFallbackPolicy>(policy);
+    }
+    return std::make_unique<FixedPolicy>(policy);
+}
+
+} // namespace uhtm

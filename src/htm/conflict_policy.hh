@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Pluggable contention management: who loses a conflict, how long an
+ * aborted transaction backs off, and when it gives up on the fast path
+ * and serializes behind the per-domain fallback lock.
+ *
+ * The default Fixed policy reproduces the paper's Table II resolution
+ * and Algorithm-1 retry schedule bit for bit (the golden bench JSON is
+ * byte-compared against it in CI). The adaptive kinds explore the
+ * contention-management space the paper defers to future work:
+ *
+ *   - bounded-retry: small retry budget with jittered exponential
+ *     backoff, then the serialized fallback;
+ *   - karma: the transaction with more failed attempts wins a conflict,
+ *     which bounds every transaction's abort count (no starvation);
+ *   - hytm: a tiny retry budget and an aggressively used per-domain
+ *     fallback lock that fast-path transactions subscribe to, in the
+ *     shape of a hybrid-TM fallback path. Preemptions by the fallback
+ *     writer are attributed to AbortCause::Fallback, and threads that
+ *     waited out another thread's drain re-try the fast path instead
+ *     of convoying on the lock (lemming avoidance).
+ *
+ * Division of labour with HtmSystem: immunity (committing/serialized
+ * victims) and the non-transactional-requester-always-wins rule stay in
+ * the protocol engine; the policy only decides the transactional
+ * asymmetries.
+ */
+
+#ifndef UHTM_HTM_CONFLICT_POLICY_HH
+#define UHTM_HTM_CONFLICT_POLICY_HH
+
+#include <memory>
+
+#include "htm/config.hh"
+#include "htm/tx_desc.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace uhtm
+{
+
+/** Contention-management strategy (see file comment). */
+class ConflictPolicy
+{
+  public:
+    explicit ConflictPolicy(const HtmPolicy &policy) : _policy(policy) {}
+    virtual ~ConflictPolicy() = default;
+
+    ConflictPolicy(const ConflictPolicy &) = delete;
+    ConflictPolicy &operator=(const ConflictPolicy &) = delete;
+
+    /**
+     * On-chip conflict (directory hit): @retval true the requester
+     * aborts instead of @p victim. Requester-wins policies return true
+     * only for the overflowed-victim asymmetry of paper Table II.
+     */
+    virtual bool onChipRequesterAborts(const TxDesc &req,
+                                       const TxDesc &victim) const = 0;
+
+    /**
+     * Off-chip conflict (signature/precise hit): @retval true @p victim
+     * aborts first and the requester proceeds if the victim was
+     * killable. Requester-loses policies return true only for the
+     * overflowed-requester asymmetry of paper Table II.
+     */
+    virtual bool offChipVictimAborts(const TxDesc &req,
+                                     const TxDesc &victim) const = 0;
+
+    /**
+     * Backoff delay before retry number @p attempt + 1. Implementations
+     * must draw from @p rng exactly once (event-order determinism).
+     */
+    virtual Tick backoffDelay(int attempt, Rng &rng) const = 0;
+
+    /**
+     * Fallback trigger, consulted after the abort protocol ran:
+     * @p next_attempt is the upcoming attempt number, @p cause the
+     * abort's attribution. @retval true take the serialized slow path.
+     */
+    virtual bool shouldSerialize(int next_attempt,
+                                 AbortCause cause) const = 0;
+
+    /** Cause attributed to fast-path transactions preempted by a
+     *  fallback-lock acquisition in their domain. */
+    virtual AbortCause
+    preemptCause() const
+    {
+        return AbortCause::LockPreempt;
+    }
+
+    /**
+     * Lemming-effect avoidance: a thread that decided to serialize but
+     * then waited for another thread's drain re-tries the fast path
+     * (fresh attempt budget) instead of taking the lock itself.
+     */
+    virtual bool retryFastAfterDrain() const { return false; }
+
+    const PolicyDescriptor &descriptor() const
+    {
+        return _policy.conflict;
+    }
+
+  protected:
+    /** Jittered exponential backoff: one rng draw in [span/2, span]. */
+    Tick
+    jitteredBackoff(int attempt, Tick base, Tick max, Rng &rng) const
+    {
+        const int shift = attempt < 14 ? attempt : 14;
+        Tick span = base << shift;
+        if (span > max)
+            span = max;
+        return rng.range(span / 2, span);
+    }
+
+    const HtmPolicy &_policy;
+};
+
+/** Build the policy selected by @p policy.conflict. The descriptor must
+ *  already be validated; @p policy must outlive the returned object. */
+std::unique_ptr<ConflictPolicy>
+makeConflictPolicy(const HtmPolicy &policy);
+
+} // namespace uhtm
+
+#endif // UHTM_HTM_CONFLICT_POLICY_HH

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "htm/conflict_policy.hh"
 #include "htm/htm_system.hh"
 #include "obs/tracer.hh"
 #include "sim/trace.hh"
@@ -49,13 +50,14 @@ HtmSystem::onChipConflictCheck(CacheLine &s, TxDesc *req, bool is_write)
         return {};
     }
 
-    // Paper Table II: if exactly one side overflowed, the
-    // non-overflowed side aborts; committing/serialized victims are
-    // immune, so the requester aborts.
+    // Committing/serialized victims are immune, so the requester
+    // aborts; otherwise the policy decides the asymmetry (paper Table
+    // II under the default fixed policy: if exactly one side
+    // overflowed, the non-overflowed side aborts).
     for (TxDesc *v : victims) {
         const bool immune =
             v->status == TxStatus::Committing || v->serialized;
-        if (immune || (v->overflowed && !req->overflowed)) {
+        if (immune || _conflict->onChipRequesterAborts(*req, *v)) {
             requestAbort(req, AbortCause::TrueConflictOnChip, v->id);
             return {true};
         }
@@ -152,8 +154,9 @@ HtmSystem::offChipConflictCheck(Addr line, TxDesc *req,
             requestAbort(v, cause, kNoTx);
             continue;
         }
-        if (req->overflowed && !v->overflowed) {
-            // Overflowed-transaction priority (paper Table II).
+        if (_conflict->offChipVictimAborts(*req, *v)) {
+            // Overflowed-transaction priority (paper Table II) or an
+            // adaptive policy ruling in the requester's favour.
             if (requestAbort(v, cause, req->id))
                 continue;
         }

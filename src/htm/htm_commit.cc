@@ -104,6 +104,10 @@ HtmSystem::issueCommit(CoreId core)
     const Tick done = std::max(t_nvm, t_dram) + _mcfg.l1Latency;
 
     // ---- functional commit (atomic at issue) ----
+    // The hook fires per commit in publication order, before the write
+    // buffer lands — the oracle's definition of the commit sequence.
+    if (_commitHook)
+        _commitHook(*tx);
     for (const auto &[line, buf] : tx->writeBuffer) {
         const auto &pre = tx->preImage.at(line);
         std::array<std::uint8_t, kLineBytes> cur;

@@ -10,6 +10,7 @@
 #include <cassert>
 
 #include "check/fault_injector.hh"
+#include "htm/conflict_policy.hh"
 #include "obs/tracer.hh"
 #include "sim/trace.hh"
 
@@ -29,6 +30,8 @@ HtmSystem::HtmSystem(EventQueue &eq, MachineConfig mcfg, HtmPolicy policy)
     trace::initFromEnv();
     assert(mcfg.cores >= 1 && mcfg.cores <= 64 &&
            "sharer bitmask limits the model to 64 cores");
+    assert(_policy.conflict.validate() && "invalid conflict policy");
+    _conflict = makeConflictPolicy(_policy);
     // Domain summary filters share the per-transaction signature
     // geometry so unionWith() stays a straight word-wise OR.
     if (policy.offChip == OffChipDetection::SignatureLlcMiss ||
@@ -139,9 +142,12 @@ HtmSystem::beginSerializedTx(CoreId core, DomainId domain, int attempt)
     ++_stats.lockAcquisitions;
     // Writing the fallback lock aborts every fast-path transaction in
     // the domain (they hold the lock in their read set in Algorithm 1).
+    // Adaptive policies attribute these preemptions to the fallback
+    // stage; the fixed policy keeps the paper's lock-preempt cause.
+    const AbortCause cause = _conflict->preemptCause();
     for (TxDesc *v : _tss.activeInDomain(domain)) {
         if (v != tx)
-            requestAbort(v, AbortCause::LockPreempt, tx->id);
+            requestAbort(v, cause, tx->id);
     }
     return tx;
 }

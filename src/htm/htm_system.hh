@@ -27,6 +27,7 @@
 #include <array>
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -50,6 +51,7 @@
 namespace uhtm
 {
 
+class ConflictPolicy;
 class FaultInjector;
 
 namespace obs
@@ -66,7 +68,7 @@ struct HtmStats
     std::uint64_t lockAcquisitions = 0;
 
     /** Aborts indexed by AbortCause. */
-    std::array<std::uint64_t, 8> aborts{};
+    std::array<std::uint64_t, kAbortCauseCount> aborts{};
 
     std::uint64_t overflowedTxs = 0;
     std::uint64_t llcTxEvictions = 0;
@@ -306,6 +308,7 @@ class HtmSystem
     EventQueue &eventQueue() { return _eq; }
     const MachineConfig &machine() const { return _mcfg; }
     const HtmPolicy &policy() const { return _policy; }
+    const ConflictPolicy &conflictPolicy() const { return *_conflict; }
     BackingStore &store() { return _store; }
     const BackingStore &store() const { return _store; }
     Cache &l1(CoreId c) { return *_l1s[c]; }
@@ -332,6 +335,17 @@ class HtmSystem
     const obs::AbortProfiler &abortProfiler() const
     {
         return _abortProfiler;
+    }
+
+    /**
+     * Attach (or with nullptr/empty detach) a commit observer, invoked
+     * synchronously at the functional-publication point of every
+     * commit, in commit order. Pure observation (no timing effect);
+     * the serializability oracle uses it to record histories.
+     */
+    void setCommitHook(std::function<void(const TxDesc &)> hook)
+    {
+        _commitHook = std::move(hook);
     }
 
     /** Reset statistics (after warmup). */
@@ -416,6 +430,7 @@ class HtmSystem
     EventQueue &_eq;
     MachineConfig _mcfg;
     HtmPolicy _policy;
+    std::unique_ptr<ConflictPolicy> _conflict;
 
     BackingStore _store;      ///< architectural (committed) state
     BackingStore _durableNvm; ///< durable in-place NVM image
@@ -438,6 +453,7 @@ class HtmSystem
 
     obs::Tracer *_obs = nullptr;
     obs::AbortProfiler _abortProfiler;
+    std::function<void(const TxDesc &)> _commitHook;
 
     FaultInjector *_faultInjector = nullptr;
     bool _breakCommitMarkOrdering = false;

@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "htm/co_task.hh"
+#include "htm/conflict_policy.hh"
 #include "htm/htm_system.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
@@ -204,6 +205,9 @@ struct TxContextStats
     std::uint64_t commits = 0;
     std::uint64_t serializedCommits = 0;
     std::uint64_t aborts = 0;
+    /** Most attempts (aborts + the commit) any one run() needed —
+     *  the per-transaction starvation measure. */
+    std::uint64_t maxAttempts = 0;
 };
 
 /**
@@ -279,17 +283,33 @@ class TxContext
     CoTask<void>
     run(Body body)
     {
+        const ConflictPolicy &cp = _sys.conflictPolicy();
         int attempt = 0;
         bool serialize = false;
         for (;;) {
-            while (_sys.domainLocked(_domain))
+            bool waited = false;
+            while (_sys.domainLocked(_domain)) {
+                waited = true;
                 co_await LockWait(_sys, _domain);
+            }
+            if (waited && serialize &&
+                _lastAbortCause != AbortCause::Capacity &&
+                cp.retryFastAfterDrain()) {
+                // Lemming avoidance: another thread's drain just
+                // resolved the contention we were fleeing — re-try the
+                // fast path with a fresh budget instead of convoying
+                // on the lock. Capacity victims still serialize (the
+                // overflow repeats regardless of contention).
+                serialize = false;
+                attempt = 0;
+            }
             if (serialize) {
                 _sys.beginSerializedTx(_core, _domain, attempt);
                 co_await body(*this);
                 co_await CommitOp(_sys, _core);
                 ++_stats.commits;
                 ++_stats.serializedCommits;
+                noteAttempts(attempt + 1);
                 co_return;
             }
             _sys.beginTx(_core, _domain, attempt);
@@ -306,18 +326,15 @@ class TxContext
             if (!aborted) {
                 co_await CommitOp(_sys, _core);
                 ++_stats.commits;
+                noteAttempts(attempt + 1);
                 co_return;
             }
             _lastAbortCause = _sys.currentTx(_core)->abortCause;
             ++_stats.aborts;
-            co_await AbortOp(_sys, _core, backoffDelay(attempt));
+            co_await AbortOp(_sys, _core,
+                             cp.backoffDelay(attempt, _rng));
             ++attempt;
-            // Capacity overflows repeat after restart: go straight to
-            // the slow path (Algorithm 1 line 15). Conflicts retry
-            // until the limit.
-            if (_lastAbortCause == AbortCause::Capacity)
-                serialize = true;
-            else if (attempt > _sys.policy().maxRetries)
+            if (cp.shouldSerialize(attempt, _lastAbortCause))
                 serialize = true;
         }
     }
@@ -333,16 +350,12 @@ class TxContext
     Rng &rng() { return _rng; }
 
   private:
-    /** Randomized exponential backoff (paper Section IV-E). */
-    Tick
-    backoffDelay(int attempt)
+    void
+    noteAttempts(int attempts)
     {
-        const HtmPolicy &p = _sys.policy();
-        const int shift = attempt < 14 ? attempt : 14;
-        Tick span = p.backoffBase << shift;
-        if (span > p.backoffMax)
-            span = p.backoffMax;
-        return _rng.range(span / 2, span);
+        const auto a = static_cast<std::uint64_t>(attempts);
+        if (a > _stats.maxAttempts)
+            _stats.maxAttempts = a;
     }
 
     HtmSystem &_sys;

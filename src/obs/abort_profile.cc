@@ -10,8 +10,12 @@ AbortProfiler::exportTo(MetricsRegistry &reg,
     for (unsigned c = 0; c < kCauses; ++c) {
         const auto cause = static_cast<AbortCause>(c);
         const StageTicks &s = _abort[c];
-        if (cause == AbortCause::None && s.count == 0)
-            continue; // "none" never fires; keep the export tidy
+        if ((cause == AbortCause::None ||
+             cause == AbortCause::Fallback) &&
+            s.count == 0)
+            continue; // "none"/"fallback" only fire for some policies;
+                      // skipping them when zero keeps the default
+                      // policy's METRICS sidecar byte-identical
         const std::string base =
             prefix + ".aborts." + abortClassName(cause);
         reg.counter(base) = s.count;

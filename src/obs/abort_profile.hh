@@ -19,6 +19,7 @@
  *   Capacity            -> capacity
  *   LockPreempt         -> lock_preempt
  *   Explicit            -> explicit
+ *   Fallback            -> fallback (adaptive-policy lock preemption)
  *
  * This is a plain value member of HtmSystem: it always accumulates
  * (cheap integer adds on commit/abort, never per access) and is
@@ -52,6 +53,7 @@ abortClassName(AbortCause c)
       case AbortCause::Capacity: return "capacity";
       case AbortCause::LockPreempt: return "lock_preempt";
       case AbortCause::Explicit: return "explicit";
+      case AbortCause::Fallback: return "fallback";
     }
     return "?";
 }

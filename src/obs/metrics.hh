@@ -46,6 +46,34 @@ struct DistSnapshot
     explicit DistSnapshot(const Distribution &d);
 
     void merge(const DistSnapshot &o);
+
+    /**
+     * Upper bound on the @p q quantile (0 < q <= 1) from the
+     * power-of-two histogram: the upper edge of the bucket where the
+     * cumulative count crosses q * count, clamped to the observed max.
+     * Conservative to within one octave; 0 for an empty snapshot.
+     */
+    double
+    quantileUpperBound(double q) const
+    {
+        if (count == 0)
+            return 0.0;
+        const double target = q * static_cast<double>(count);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < log2Hist.size(); ++i) {
+            cum += log2Hist[i];
+            if (static_cast<double>(cum) >= target) {
+                // Bucket 0 holds samples < 1; bucket i >= 1 holds
+                // [2^(i-1), 2^i). The last bucket absorbs overflow, so
+                // clamp every edge to the observed max.
+                const double edge =
+                    i == 0 ? 1.0
+                           : static_cast<double>(1ull << (i < 63 ? i : 63));
+                return max < edge ? max : edge;
+            }
+        }
+        return max;
+    }
 };
 
 /** Flattened registry state: sorted path → value maps. */

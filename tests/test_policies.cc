@@ -9,7 +9,13 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
+#include "check/fault_injector.hh"
+#include "exec/result_sink.hh"
+#include "exec/scheduler.hh"
+#include "harness/experiments.hh"
+#include "harness/figures.hh"
 #include "workloads/hashmap.hh"
 
 namespace uhtm
@@ -157,6 +163,248 @@ TEST(Policies, LockPreemptsRunningTransactions)
     EXPECT_EQ(fast->abortCause, AbortCause::LockPreempt);
     EXPECT_FALSE(foreign->abortRequested)
         << "the lock is per conflict domain";
+}
+
+/* ------------------------------------------------------------------ */
+/* Contention-adaptive conflict policies                              */
+/* ------------------------------------------------------------------ */
+
+/** Parse @p spec into an uhtmOpt(2048) policy; must succeed. */
+HtmPolicy
+policyFromSpec(const std::string &spec)
+{
+    HtmPolicy policy = HtmPolicy::uhtmOpt(2048);
+    std::string err;
+    EXPECT_TRUE(PolicyDescriptor::parse(spec, &policy.conflict, &err))
+        << err;
+    return policy;
+}
+
+/** All-threads-on-one-line adversarial run under @p spec. */
+RunMetrics
+runLemming(const std::string &spec)
+{
+    MachineConfig m = MachineConfig::tiny();
+    m.cores = 4;
+    experiments::ContentionParams p;
+    p.workers = 4;
+    p.txPerWorker = 25;
+    p.hotLines = 1;
+    p.seed = 7;
+    return experiments::runContention(m, policyFromSpec(spec), p);
+}
+
+std::uint64_t
+maxAttemptsOf(const RunMetrics &m)
+{
+    std::uint64_t max_att = 0;
+    for (const auto &[dom, cs] : m.domainCtx)
+        max_att = std::max(max_att, cs.maxAttempts);
+    return max_att;
+}
+
+TEST(Policies, AdaptivePoliciesBeatFixedUnderLemming)
+{
+    const RunMetrics fixed = runLemming("fixed");
+    const RunMetrics bounded = runLemming("bounded-retry");
+    const RunMetrics hytm = runLemming("hytm");
+    // Same committed work under every policy...
+    ASSERT_EQ(fixed.committedOps, 4u * 25u);
+    ASSERT_EQ(bounded.committedOps, fixed.committedOps);
+    ASSERT_EQ(hytm.committedOps, fixed.committedOps);
+    // ...but the fixed policy burns simulated time in its capped
+    // exponential backoff, while bounded-retry gives up onto the
+    // fallback lock quickly and hytm additionally retries the fast
+    // path as soon as a drain resolves the convoy. Strict win, as the
+    // lemming acceptance criterion demands.
+    EXPECT_LT(bounded.endTick, fixed.endTick);
+    EXPECT_LT(hytm.endTick, fixed.endTick);
+    EXPECT_GT(bounded.opsPerSec, fixed.opsPerSec);
+    EXPECT_GT(hytm.opsPerSec, fixed.opsPerSec);
+    // The fallback lock actually engaged (this is HyTM, not tuning).
+    EXPECT_GT(bounded.htm.serializedCommits +
+                  bounded.htm.abortsOf(AbortCause::Fallback),
+              0u);
+}
+
+TEST(Policies, KarmaBoundsStarvationWithoutTheLock)
+{
+    const RunMetrics m = runLemming("karma");
+    ASSERT_EQ(m.committedOps, 4u * 25u);
+    // Karma's priority tiebreak (more attempts win) keeps every
+    // operation's attempt count small without ever serializing: the
+    // default karma budget of 64 retries is never approached.
+    EXPECT_EQ(m.htm.serializedCommits, 0u);
+    const std::uint64_t max_att = maxAttemptsOf(m);
+    EXPECT_GT(max_att, 1u) << "the mix must actually conflict";
+    EXPECT_LE(max_att, 16u) << "starvation bound";
+}
+
+TEST(Policies, AbortAttributionSumsToFigureAbortCounts)
+{
+    for (const char *spec : {"fixed", "bounded-retry", "karma", "hytm"}) {
+        const RunMetrics m = runLemming(spec);
+        // Per-cause counts exported by the abort profiler (the METRICS
+        // sidecar) must sum exactly to the figure-level abort total
+        // (the BENCH JSON), fallback included.
+        std::uint64_t profiled = 0;
+        for (unsigned c = 0; c < kAbortCauseCount; ++c) {
+            const auto cause = static_cast<AbortCause>(c);
+            const std::string key =
+                std::string("htm.aborts.") + obs::abortClassName(cause);
+            const auto it = m.registry.counters.find(key);
+            const std::uint64_t counted =
+                it == m.registry.counters.end() ? 0 : it->second;
+            EXPECT_EQ(counted, m.htm.abortsOf(cause))
+                << key << " under " << spec;
+            profiled += counted;
+        }
+        EXPECT_EQ(profiled, m.htm.totalAborts()) << spec;
+    }
+}
+
+TEST(Policies, FallbackDrainOrdersRedoAppendsBeforeCommitMark)
+{
+    // Direct-drive the serialized fallback path: a slow-path
+    // transaction writing NVM lines must drain every redo-log record
+    // before its commit record becomes durable (paper Section IV-C),
+    // under the adaptive policy exactly as under the fixed one.
+    constexpr unsigned kLines = 3;
+    const Addr base = MemLayout::kNvmBase + MiB(2);
+
+    // drive(crash_at): run the fallback commit with a FaultInjector
+    // attached; crash_at < 0 means run to completion.
+    struct Outcome
+    {
+        std::vector<PersistEvent> events;
+        bool crashed = false;
+        std::vector<std::uint64_t> recovered;
+    };
+    auto drive = [&](std::int64_t crash_at) {
+        EventQueue eq;
+        HtmSystem sys(eq, MachineConfig::tiny(),
+                      policyFromSpec("hytm"));
+        FaultInjector fi(eq);
+        sys.setFaultInjector(&fi);
+        if (crash_at >= 0)
+            fi.armCrashAt(static_cast<std::uint64_t>(crash_at));
+        const DomainId dom = sys.createDomain("p0");
+        for (unsigned i = 0; i < kLines; ++i)
+            sys.setupWrite64(base + i * kLineBytes, 100 + i);
+        sys.beginSerializedTx(0, dom, 1);
+        for (unsigned i = 0; i < kLines; ++i) {
+            sys.issueAccess(0, dom, base + i * kLineBytes, true, false,
+                            200 + i);
+            eq.run();
+        }
+        sys.issueCommit(0);
+        eq.run();
+        Outcome out;
+        out.events = fi.events();
+        out.crashed = fi.crashed();
+        BackingStore img = sys.recoverAfterCrash();
+        for (unsigned i = 0; i < kLines; ++i)
+            out.recovered.push_back(img.read64(base + i * kLineBytes));
+        sys.setFaultInjector(nullptr);
+        return out;
+    };
+
+    const Outcome full = drive(-1);
+    std::uint64_t commit_mark_idx = 0;
+    std::uint64_t first_redo_idx = 0;
+    Tick commit_mark_at = 0;
+    unsigned redo = 0, marks = 0;
+    bool saw_redo = false;
+    for (const PersistEvent &e : full.events) {
+        if (e.point == PersistPoint::RedoLogAppend) {
+            if (!saw_redo)
+                first_redo_idx = e.index;
+            saw_redo = true;
+            ++redo;
+        } else if (e.point == PersistPoint::CommitMark) {
+            commit_mark_idx = e.index;
+            commit_mark_at = e.completeAt;
+            ++marks;
+        }
+    }
+    ASSERT_EQ(marks, 1u);
+    ASSERT_EQ(redo, kLines);
+    for (const PersistEvent &e : full.events) {
+        if (e.point == PersistPoint::RedoLogAppend)
+            EXPECT_LE(e.completeAt, commit_mark_at)
+                << "redo record durable after the commit record";
+    }
+    for (unsigned i = 0; i < kLines; ++i)
+        EXPECT_EQ(full.recovered[i], 200u + i);
+
+    // Crash while the first redo record is draining: the commit record
+    // is not durable, recovery must surface the pre-transaction state.
+    const Outcome before =
+        drive(static_cast<std::int64_t>(first_redo_idx));
+    ASSERT_TRUE(before.crashed);
+    for (unsigned i = 0; i < kLines; ++i)
+        EXPECT_EQ(before.recovered[i], 100u + i)
+            << "torn fallback commit leaked line " << i;
+
+    // Crash exactly when the commit record completes: the transaction
+    // is durable, recovery must replay the full write set.
+    const Outcome after =
+        drive(static_cast<std::int64_t>(commit_mark_idx));
+    ASSERT_TRUE(after.crashed);
+    for (unsigned i = 0; i < kLines; ++i)
+        EXPECT_EQ(after.recovered[i], 200u + i)
+            << "committed fallback write lost on line " << i;
+}
+
+TEST(Policies, PolicySpecValidationRejectsBadKnobs)
+{
+    PolicyDescriptor d;
+    std::string err;
+    EXPECT_FALSE(PolicyDescriptor::parse("bounded-retry:retries=-1", &d,
+                                         &err));
+    EXPECT_NE(err.find("retry budget must be >= 0"), std::string::npos)
+        << err;
+    EXPECT_FALSE(PolicyDescriptor::parse("hytm:base=0", &d, &err));
+    EXPECT_NE(err.find("backoff base must be > 0"), std::string::npos)
+        << err;
+    EXPECT_FALSE(PolicyDescriptor::parse("karma:base=200,max=100", &d,
+                                         &err));
+    EXPECT_NE(err.find("backoff max"), std::string::npos) << err;
+    EXPECT_FALSE(PolicyDescriptor::parse("optimistic", &d, &err));
+    EXPECT_NE(err.find("unknown policy kind"), std::string::npos) << err;
+    EXPECT_FALSE(PolicyDescriptor::parse("karma:lives=9", &d, &err));
+    EXPECT_NE(err.find("unknown policy knob"), std::string::npos) << err;
+    EXPECT_FALSE(PolicyDescriptor::parse("fixed:retries", &d, &err));
+    EXPECT_NE(err.find("malformed policy knob"), std::string::npos)
+        << err;
+    // A failed parse must leave the output untouched.
+    EXPECT_EQ(d.kind, ConflictPolicyKind::Fixed);
+    // And the good specs round-trip.
+    ASSERT_TRUE(PolicyDescriptor::parse("karma:retries=8,base=200",
+                                        &d, &err))
+        << err;
+    EXPECT_EQ(d.spec(), "karma:retries=8,base=200,max=50000");
+}
+
+TEST(Policies, BenchAndMetricsBytesAreScheduleInvariant)
+{
+    // The policies figure's BENCH and METRICS JSON must be identical
+    // for --jobs=1 and --jobs=4 (submission order, not completion
+    // order, defines the bytes).
+    const figures::Figure *fig = figures::find("policies");
+    ASSERT_NE(fig, nullptr);
+    figures::FigureOpts o;
+    o.tiny = true;
+    o.seed = 42;
+    const std::vector<exec::Job> jobs = fig->makeJobs(o);
+    exec::SweepScheduler serial({1, o.seed});
+    exec::SweepScheduler wide({4, o.seed});
+    const auto r1 = serial.run(jobs);
+    const auto r4 = wide.run(jobs);
+    const exec::ResultSink sink("policies", o.seed,
+                                {{"quick", "false"}, {"tiny", "true"}});
+    EXPECT_EQ(sink.json(r1), sink.json(r4));
+    EXPECT_EQ(sink.metricsJson(r1), sink.metricsJson(r4));
 }
 
 } // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Serializability oracle: record every committed transaction's reads,
+ * writes and commit position over randomized contended workloads, then
+ * verify the history against a witness serial schedule.
+ *
+ * The oracle exploits a structural property of the simulator: commits
+ * publish their write buffers atomically at issueCommit, in a single
+ * global order observed through HtmSystem::setCommitHook. That commit
+ * order is therefore a candidate equivalent serial schedule. The check
+ * replays the committed transactions one at a time in commit order
+ * against a model memory and asserts that
+ *
+ *   1. every value a transaction read is exactly what the serial
+ *      replay provides at its position (own earlier writes first,
+ *      then the committed state) — i.e. the interleaved execution is
+ *      view-equivalent to the serial witness, which implies the
+ *      history is (conflict-)serializable; and
+ *   2. the final architectural memory equals the serial replay's
+ *      final state (no lost or phantom updates).
+ *
+ * Any isolation hole — a read served from a line another transaction
+ * later unpublishes, a conflict the staged detection missed, a write
+ * buffer published twice — shows up as a mismatch. Every conflict
+ * policy must pass for every modeled system; failures print the
+ * (policy, system, seed) triple needed to replay deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "htm/tx_context.hh"
+#include "workloads/region_alloc.hh"
+
+namespace uhtm
+{
+namespace
+{
+
+constexpr unsigned kWorkers = 4;
+constexpr unsigned kTxPerWorker = 16;
+constexpr unsigned kSharedLines = 12; ///< half DRAM, half NVM
+
+/** One recorded transactional memory operation (word granularity). */
+struct Op
+{
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    bool isWrite = false;
+};
+
+/** One committed transaction: its ops, in commit order. */
+struct CommittedTx
+{
+    TxId id = kNoTx;
+    std::vector<Op> ops;
+};
+
+/** Where the oracle run happened, for failure replay. */
+struct RunLabel
+{
+    std::string policy;
+    std::string system;
+    std::uint64_t seed = 0;
+
+    std::string
+    str() const
+    {
+        return "policy=" + policy + " system=" + system +
+               " seed=" + std::to_string(seed);
+    }
+};
+
+/**
+ * Run one randomized contended workload and record its history.
+ * Returns the number of committed transactions.
+ */
+std::uint64_t
+runAndCheck(const HtmPolicy &policy, const RunLabel &label)
+{
+    EventQueue eq;
+    HtmSystem sys(eq, MachineConfig::tiny(), policy);
+    RegionAllocator regions;
+    const DomainId dom = sys.createDomain("oracle");
+
+    // Shared pool: word 0 of each line, split across both memory
+    // kinds so NVM redo logging and DRAM undo logging both engage.
+    std::vector<Addr> shared;
+    const Addr dbase = regions.reserve(
+        MemKind::Dram, std::uint64_t(kSharedLines / 2) * kLineBytes);
+    const Addr nbase = regions.reserve(
+        MemKind::Nvm,
+        std::uint64_t(kSharedLines - kSharedLines / 2) * kLineBytes);
+    for (unsigned i = 0; i < kSharedLines / 2; ++i)
+        shared.push_back(dbase + i * kLineBytes);
+    for (unsigned i = 0; i < kSharedLines - kSharedLines / 2; ++i)
+        shared.push_back(nbase + i * kLineBytes);
+
+    // Distinct initial values so a misdirected read is visible.
+    std::map<Addr, std::uint64_t> initial;
+    for (unsigned i = 0; i < shared.size(); ++i) {
+        initial[shared[i]] = 0xA000 + i;
+        sys.setupWrite64(shared[i], 0xA000 + i);
+    }
+
+    // Per-core log of the in-flight attempt; the commit hook snapshots
+    // the committing core's log at the publication point, which is the
+    // single global commit order.
+    std::vector<std::vector<Op>> pending(kWorkers);
+    std::vector<CommittedTx> history;
+    sys.setCommitHook([&](const TxDesc &tx) {
+        history.push_back({tx.id, pending[tx.core]});
+    });
+
+    std::vector<std::unique_ptr<TxContext>> ctxs;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        ctxs.push_back(
+            std::make_unique<TxContext>(sys, w, dom, label.seed + w));
+
+    auto worker = [&](TxContext &c, unsigned w) -> Task {
+        Rng r(label.seed * 977 + w);
+        for (unsigned i = 0; i < kTxPerWorker; ++i) {
+            // The logical operation is fixed before run() so every
+            // retry replays the same access pattern.
+            const Addr r1 = shared[r.below(kSharedLines)];
+            const Addr r2 = shared[r.below(kSharedLines)];
+            const Addr tgt = shared[r.below(kSharedLines)];
+            const std::uint64_t delta = 1 + r.below(7);
+            co_await c.run([&](TxContext &t) -> CoTask<void> {
+                std::vector<Op> &log = pending[t.core()];
+                log.clear();
+                const std::uint64_t v1 = co_await t.read64(r1);
+                log.push_back({r1, v1, false});
+                const std::uint64_t v2 = co_await t.read64(r2);
+                log.push_back({r2, v2, false});
+                const std::uint64_t v = co_await t.read64(tgt);
+                log.push_back({tgt, v, false});
+                co_await t.write64(tgt, v + delta);
+                log.push_back({tgt, v + delta, true});
+            });
+        }
+    };
+
+    std::vector<Task> tasks;
+    for (unsigned w = 0; w < kWorkers; ++w)
+        tasks.push_back(worker(*ctxs[w], w));
+    for (auto &t : tasks)
+        t.start();
+    eq.run();
+
+    EXPECT_EQ(history.size(), std::uint64_t(kWorkers) * kTxPerWorker)
+        << label.str();
+
+    // Serial replay in commit order (the witness schedule).
+    std::map<Addr, std::uint64_t> mem = initial;
+    for (const CommittedTx &tx : history) {
+        std::map<Addr, std::uint64_t> local;
+        for (const Op &op : tx.ops) {
+            if (op.isWrite) {
+                local[op.addr] = op.value;
+                continue;
+            }
+            const auto it = local.find(op.addr);
+            const std::uint64_t expect =
+                it != local.end() ? it->second : mem.at(op.addr);
+            if (op.value != expect) {
+                ADD_FAILURE()
+                    << "non-serializable read in tx " << tx.id
+                    << " at 0x" << std::hex << op.addr << std::dec
+                    << ": read " << op.value << ", serial replay gives "
+                    << expect << " (" << label.str() << ")";
+                return history.size();
+            }
+        }
+        for (const auto &[a, v] : local)
+            mem[a] = v;
+    }
+
+    // The architectural memory must equal the witness schedule's
+    // outcome: no lost updates, no phantom writes.
+    for (const auto &[a, v] : mem) {
+        if (sys.setupRead64(a) != v) {
+            ADD_FAILURE() << "final state diverges from serial replay "
+                          << "at 0x" << std::hex << a << std::dec << " ("
+                          << label.str() << ")";
+            return history.size();
+        }
+    }
+    return history.size();
+}
+
+/** Every modeled system, as (name, base policy) pairs. */
+std::vector<std::pair<std::string, HtmPolicy>>
+systems()
+{
+    return {{"llc-bounded", HtmPolicy::llcBounded()},
+            {"sig-only", HtmPolicy::signatureOnly(512)},
+            {"uhtm-sig", HtmPolicy::uhtmSig(2048)},
+            {"uhtm-opt", HtmPolicy::uhtmOpt(2048)},
+            {"ideal", HtmPolicy::ideal()}};
+}
+
+/** >= 1000 committed, verified histories for one conflict policy. */
+void
+checkPolicy(const std::string &spec)
+{
+    std::uint64_t committed = 0;
+    for (const auto &[sysname, base] : systems()) {
+        for (std::uint64_t seed : {1, 2, 3, 4}) {
+            HtmPolicy policy = base;
+            std::string err;
+            ASSERT_TRUE(
+                PolicyDescriptor::parse(spec, &policy.conflict, &err))
+                << err;
+            committed +=
+                runAndCheck(policy, RunLabel{spec, sysname, seed});
+            if (::testing::Test::HasFailure())
+                return;
+        }
+    }
+    EXPECT_GE(committed, 1000u) << spec;
+}
+
+TEST(SerializabilityOracle, FixedPolicy) { checkPolicy("fixed"); }
+
+TEST(SerializabilityOracle, BoundedRetryPolicy)
+{
+    checkPolicy("bounded-retry");
+}
+
+TEST(SerializabilityOracle, KarmaPolicy) { checkPolicy("karma"); }
+
+TEST(SerializabilityOracle, HytmFallbackPolicy) { checkPolicy("hytm"); }
+
+} // namespace
+} // namespace uhtm
